@@ -1,0 +1,49 @@
+"""Ablation: lock-striped atomics on versus off (paper §IV).
+
+The paper turned Ligra's atomic ``writeAdd`` off (accepting unsafe updates)
+and "saw no appreciable performance difference", concluding the workload is
+memory-bound rather than synchronisation-bound.  The equivalent comparison
+here runs the thread-scheduled Ligra formulation with and without the lock
+striping, on the same graph and labels.
+"""
+
+import pytest
+
+from repro.core import gee_ligra
+
+from bench_config import N_CLASSES
+
+WORKERS = 4
+
+
+@pytest.mark.benchmark(group="ablation-atomics")
+class TestAtomicsOnOff:
+    def test_atomics_on(self, benchmark, twitch_sim):
+        edges, csr, labels, _ = twitch_sim
+        benchmark.pedantic(
+            lambda: gee_ligra(
+                csr, labels, N_CLASSES, backend="threads", n_workers=WORKERS, atomic=True
+            ),
+            rounds=3,
+            iterations=1,
+        )
+
+    def test_atomics_off_unsafe(self, benchmark, twitch_sim):
+        edges, csr, labels, _ = twitch_sim
+        benchmark.pedantic(
+            lambda: gee_ligra(
+                csr, labels, N_CLASSES, backend="threads", n_workers=WORKERS, atomic=False
+            ),
+            rounds=3,
+            iterations=1,
+        )
+
+    def test_serial_reference_no_atomics_needed(self, benchmark, twitch_sim):
+        """The single-worker schedule needs no synchronisation at all and
+        bounds how much the locks could possibly cost."""
+        edges, csr, labels, _ = twitch_sim
+        benchmark.pedantic(
+            lambda: gee_ligra(csr, labels, N_CLASSES, backend="serial", atomic=False),
+            rounds=3,
+            iterations=1,
+        )

@@ -1,0 +1,93 @@
+"""Ablation: when does the O(nK) projection initialisation dominate?
+
+Paper §III: "for most graphs and choices of K < 50, s > nk.  However, O(nk)
+becomes the dominant component of the runtime when graphs have a high n and
+a very low average degree."  This bench fixes n and K and sweeps the average
+degree, benchmarking the two phases (projection initialisation and the edge
+pass) separately so the crossover is visible in the report.
+"""
+
+import pytest
+
+from repro.core.gee_vectorized import accumulate_edges_vectorized
+from repro.core.projection import (
+    build_projection,
+    build_projection_parallel,
+    projection_from_scales,
+    projection_scales,
+)
+from repro.graph.datasets import generate_labels
+from repro.graph.generators import erdos_renyi
+
+import numpy as np
+
+N_VERTICES = 100_000
+N_CLASSES = 50
+
+
+def _case(average_degree: int):
+    edges = erdos_renyi(N_VERTICES, N_VERTICES * average_degree, seed=0)
+    labels = generate_labels(N_VERTICES, N_CLASSES, labelled_fraction=0.10, seed=0)
+    return edges, labels
+
+
+@pytest.fixture(scope="module")
+def sparse_case():
+    return _case(average_degree=2)
+
+
+@pytest.fixture(scope="module")
+def dense_case():
+    return _case(average_degree=32)
+
+
+@pytest.mark.benchmark(group="ablation-init-phases")
+class TestPhaseSplit:
+    def test_projection_init(self, benchmark, sparse_case):
+        _, labels = sparse_case
+        benchmark(lambda: projection_from_scales(labels, projection_scales(labels, N_CLASSES), N_CLASSES))
+
+    def test_edge_pass_sparse_degree_2(self, benchmark, sparse_case):
+        edges, labels = sparse_case
+        scales = projection_scales(labels, N_CLASSES)
+
+        def run():
+            Z = np.zeros(N_VERTICES * N_CLASSES)
+            accumulate_edges_vectorized(
+                Z, edges.src, edges.dst, edges.effective_weights(), labels, scales, N_CLASSES
+            )
+            return Z
+
+        benchmark(run)
+
+    def test_edge_pass_dense_degree_32(self, benchmark, dense_case):
+        edges, labels = dense_case
+        scales = projection_scales(labels, N_CLASSES)
+
+        def run():
+            Z = np.zeros(N_VERTICES * N_CLASSES)
+            accumulate_edges_vectorized(
+                Z, edges.src, edges.dst, edges.effective_weights(), labels, scales, N_CLASSES
+            )
+            return Z
+
+        benchmark(run)
+
+
+@pytest.mark.benchmark(group="ablation-init-strategies")
+class TestProjectionStrategies:
+    """Serial per-class loop vs class-parallel loop vs vectorised scatter."""
+
+    def test_serial_per_class_loop(self, benchmark, dense_case):
+        _, labels = dense_case
+        benchmark(lambda: build_projection(labels, N_CLASSES))
+
+    def test_class_parallel_threads(self, benchmark, dense_case):
+        _, labels = dense_case
+        benchmark(lambda: build_projection_parallel(labels, N_CLASSES, n_workers=8))
+
+    def test_vectorized_scatter(self, benchmark, dense_case):
+        _, labels = dense_case
+        benchmark(
+            lambda: projection_from_scales(labels, projection_scales(labels, N_CLASSES), N_CLASSES)
+        )

@@ -1,0 +1,48 @@
+"""Shared configuration and dataset loading for the benchmark harness.
+
+Kept separate from ``conftest.py`` so benchmark modules can import it
+directly (``from bench_config import N_CLASSES``) without colliding with the
+unit-test suite's own ``conftest`` module when both directories are
+collected in one pytest invocation.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+try:  # pragma: no cover - import guard, mirrors tests/conftest.py
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # pragma: no cover
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.graph.datasets import DEFAULT_SCALE, generate_labels, load
+
+#: Number of embedding dimensions used throughout (the paper uses K = 50).
+N_CLASSES = 50
+
+#: Fraction of labelled vertices (the paper labels 10% of nodes).
+LABELLED_FRACTION = 0.10
+
+
+def bench_scale() -> float:
+    """The dataset shrink factor used by the benchmarks.
+
+    Controlled by the ``REPRO_BENCH_SCALE`` environment variable, which is a
+    multiplier on the default 1/1600 shrink factor (e.g. ``4`` gives graph
+    stand-ins four times larger than the default).
+    """
+    multiplier = float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+    return DEFAULT_SCALE * multiplier
+
+
+def load_bench_dataset(name: str):
+    """Load a stand-in graph plus paper-protocol labels and a prebuilt CSR."""
+    edges, spec = load(name, scale=bench_scale(), seed=0)
+    labels = generate_labels(
+        edges.n_vertices, N_CLASSES, labelled_fraction=LABELLED_FRACTION, seed=0
+    )
+    csr = edges.to_csr()
+    csr.in_indptr  # force the in-adjacency so graph loading stays out of timings
+    return edges, csr, labels, spec

@@ -1,0 +1,70 @@
+"""Figure 4: runtime versus edge count on Erdős–Rényi graphs.
+
+The paper sweeps 2^13 – 2^29 edges and shows every implementation's runtime
+growing linearly (straight lines on a log–log plot).  The sweep here covers
+2^13 – 2^19 by default — enough octaves to confirm linearity for all four
+implementations, including the pure-Python reference on the smaller sizes —
+and can be extended through the ``repro.eval.experiments figure4`` CLI.
+"""
+
+import pytest
+
+from repro.core import gee_ligra, gee_parallel, gee_python, gee_vectorized
+from repro.graph.datasets import generate_labels
+from repro.graph.generators import erdos_renyi
+
+from bench_config import LABELLED_FRACTION, N_CLASSES
+
+EXPONENTS = [13, 15, 17, 19]
+PYTHON_EXPONENTS = [13, 15]  # the interpreted loop is capped to keep the run short
+AVERAGE_DEGREE = 16
+
+
+def _er_case(exponent: int):
+    n_edges = 1 << exponent
+    n_vertices = max(16, n_edges // AVERAGE_DEGREE)
+    edges = erdos_renyi(n_vertices, n_edges, seed=0)
+    labels = generate_labels(
+        edges.n_vertices, N_CLASSES, labelled_fraction=LABELLED_FRACTION, seed=0
+    )
+    csr = edges.to_csr()
+    csr.in_indptr
+    return edges, csr, labels
+
+
+@pytest.fixture(scope="module")
+def er_cases():
+    return {e: _er_case(e) for e in EXPONENTS}
+
+
+@pytest.mark.benchmark(group="figure4-er-sweep")
+@pytest.mark.parametrize("exponent", PYTHON_EXPONENTS)
+def test_gee_python(benchmark, er_cases, exponent):
+    edges, csr, labels = er_cases[exponent]
+    benchmark.extra_info["log2_edges"] = exponent
+    benchmark.pedantic(lambda: gee_python(edges, labels, N_CLASSES), rounds=2, iterations=1)
+
+
+@pytest.mark.benchmark(group="figure4-er-sweep")
+@pytest.mark.parametrize("exponent", EXPONENTS)
+def test_numba_serial_standin(benchmark, er_cases, exponent):
+    edges, csr, labels = er_cases[exponent]
+    benchmark.extra_info["log2_edges"] = exponent
+    benchmark(lambda: gee_vectorized(edges, labels, N_CLASSES))
+
+
+@pytest.mark.benchmark(group="figure4-er-sweep")
+@pytest.mark.parametrize("exponent", EXPONENTS)
+def test_ligra_serial(benchmark, er_cases, exponent):
+    edges, csr, labels = er_cases[exponent]
+    benchmark.extra_info["log2_edges"] = exponent
+    benchmark(lambda: gee_ligra(csr, labels, N_CLASSES, backend="vectorized"))
+
+
+@pytest.mark.benchmark(group="figure4-er-sweep")
+@pytest.mark.parametrize("exponent", EXPONENTS)
+def test_ligra_parallel(benchmark, er_cases, exponent):
+    edges, csr, labels = er_cases[exponent]
+    gee_parallel(csr, labels, N_CLASSES)  # warm pool / graph cache
+    benchmark.extra_info["log2_edges"] = exponent
+    benchmark(lambda: gee_parallel(csr, labels, N_CLASSES))

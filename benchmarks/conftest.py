@@ -1,0 +1,39 @@
+"""Shared pytest fixtures for the benchmark harness.
+
+Dataset loading and the benchmark constants live in ``bench_config.py``;
+this module only provides the session-scoped graph fixtures and the
+worker-pool teardown.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_config import load_bench_dataset
+
+
+@pytest.fixture(scope="session")
+def friendster_sim():
+    """The largest Table I stand-in (Friendster, 1.8B edges in the paper)."""
+    return load_bench_dataset("friendster-sim")
+
+
+@pytest.fixture(scope="session")
+def orkut_sim():
+    """The soc-orkut stand-in (117M edges in the paper)."""
+    return load_bench_dataset("orkut-sim")
+
+
+@pytest.fixture(scope="session")
+def twitch_sim():
+    """The smallest Table I stand-in (Twitch, 6.8M edges in the paper)."""
+    return load_bench_dataset("twitch-sim")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _shutdown_pool_at_end():
+    """Terminate the persistent GEE worker pool when the session ends."""
+    yield
+    from repro.core.gee_parallel import shutdown_workers
+
+    shutdown_workers()

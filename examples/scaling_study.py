@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Reproduce the paper's evaluation end-to-end (Table I and Figures 2–4).
+
+This is the scripted form of the benchmark harness: it runs every
+experiment driver at a configurable scale, prints the measured tables next
+to the paper's published numbers, and renders the two figures as ASCII
+plots.  It is the command used to populate EXPERIMENTS.md.
+
+Run with (roughly a minute at the default scale)::
+
+    python examples/scaling_study.py
+    python examples/scaling_study.py --scale-multiplier 4 --repeats 3
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.eval import experiments
+from repro.eval.reporting import ascii_line_plot, format_markdown_table
+from repro.graph.datasets import DEFAULT_SCALE
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale-multiplier", type=float, default=1.0,
+                        help="multiply the default 1/1600 dataset shrink factor")
+    parser.add_argument("--repeats", type=int, default=1, help="timing repeats per cell")
+    parser.add_argument("--skip-python", action="store_true",
+                        help="skip the slow pure-Python reference column")
+    parser.add_argument("--max-cores", type=int, default=None,
+                        help="cap the strong-scaling sweep")
+    args = parser.parse_args()
+    scale = DEFAULT_SCALE * args.scale_multiplier
+
+    print("=" * 78)
+    print("Table I — runtime (seconds) on the scaled stand-in graphs")
+    print("=" * 78)
+    rows = experiments.table1(
+        scale=scale, repeats=args.repeats, include_python=not args.skip_python
+    )
+    print(format_markdown_table(
+        rows,
+        ["graph", "n", "s", "gee-python", "numba-serial", "ligra-serial", "ligra-parallel",
+         "speedup_vs_numba", "paper_speedup_vs_numba"],
+    ))
+
+    print("\n" + "=" * 78)
+    print("Figure 2 — Friendster stand-in, normalised to the compiled serial baseline")
+    print("=" * 78)
+    print(format_markdown_table(experiments.figure2(
+        scale=scale, repeats=args.repeats, include_python=not args.skip_python
+    )))
+
+    print("\n" + "=" * 78)
+    print("Figure 3 — strong scaling (measured locally + paper-machine model)")
+    print("=" * 78)
+    fig3 = experiments.figure3(scale=scale, repeats=args.repeats, max_cores=args.max_cores)
+    print(format_markdown_table(fig3["measured"], ["cores", "runtime_s", "speedup"]))
+    print()
+    print(ascii_line_plot(
+        {
+            "measured": [(m["cores"], m["speedup"]) for m in fig3["measured"]],
+            "model (paper machine)": [(m["cores"], m["speedup"]) for m in fig3["model"]],
+        },
+        xlabel="cores", ylabel="speedup", title="speedup vs cores",
+    ))
+
+    print("\n" + "=" * 78)
+    print("Figure 4 — runtime vs edges on Erdős–Rényi graphs (log–log)")
+    print("=" * 78)
+    fig4 = experiments.figure4(
+        log2_edges=range(13, 20), repeats=args.repeats, include_python=not args.skip_python
+    )
+    print(format_markdown_table(fig4))
+    series = {
+        name: [
+            (row["n_edges"], row[name])
+            for row in fig4
+            if isinstance(row[name], float) and not np.isnan(row[name])
+        ]
+        for name in experiments.TABLE1_COLUMNS
+    }
+    print()
+    print(ascii_line_plot(series, logx=True, logy=True,
+                          xlabel="edges", ylabel="runtime (s)", title="runtime vs edges"))
+
+    print("\n" + "=" * 78)
+    print("Ablations")
+    print("=" * 78)
+    print(format_markdown_table([experiments.ablation_atomics(scale=scale, repeats=args.repeats)]))
+    print()
+    print(format_markdown_table(experiments.ablation_projection_init()))
+
+    from repro.core.gee_parallel import shutdown_workers
+
+    shutdown_workers()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Semi-supervised vertex classification on a noisy multi-community graph.
+
+The motivating applications in the paper's introduction (connectome
+analysis, cybersecurity, community detection) are all vertex-inference
+problems: given a graph and labels for a few vertices, infer the rest.
+This example builds a stochastic block model with six unequal, noisy
+communities (plus an overlay of random "noise" edges so no method gets a
+clean separation for free), reveals a varying fraction of labels, and
+compares three ways of labelling the remaining vertices:
+
+* GEE embedding + nearest class centroid (the library's estimator API),
+* GEE with the normalised-Laplacian variant,
+* plain label propagation (a no-embedding baseline).
+
+Run with::
+
+    python examples/vertex_classification.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import GraphEncoderEmbedding
+from repro.core.validation import UNKNOWN_LABEL
+from repro.eval.metrics import accuracy
+from repro.eval.reporting import format_markdown_table
+from repro.graph import EdgeList, erdos_renyi, stochastic_block_model
+from repro.labels import mask_labels, propagate_labels
+
+N_CLASSES = 6
+BLOCK_SIZES = [500, 400, 350, 300, 250, 200]
+P_IN, P_OUT = 0.04, 0.003
+NOISE_EDGES = 8000
+
+
+def build_graph(seed: int = 3):
+    """Unequal-block SBM with an Erdős–Rényi noise overlay."""
+    B = np.full((N_CLASSES, N_CLASSES), P_OUT)
+    np.fill_diagonal(B, P_IN)
+    edges, truth = stochastic_block_model(BLOCK_SIZES, B, seed=seed)
+    noise = erdos_renyi(edges.n_vertices, NOISE_EDGES, seed=seed + 1, undirected=True)
+    merged = EdgeList(
+        np.concatenate([edges.src, noise.src]),
+        np.concatenate([edges.dst, noise.dst]),
+        None,
+        edges.n_vertices,
+    )
+    return merged, truth
+
+
+def main() -> None:
+    edges, truth = build_graph()
+    print(
+        f"noisy SBM: {edges.n_vertices} vertices, {edges.n_edges} directed edges, "
+        f"max degree {int(edges.out_degrees().max())}, {N_CLASSES} planted classes\n"
+    )
+
+    rows = []
+    for observed_fraction in (0.02, 0.05, 0.10, 0.25):
+        labels = mask_labels(truth, observed_fraction, seed=2)
+        unlabelled = labels == UNKNOWN_LABEL
+
+        gee = GraphEncoderEmbedding(method="parallel", normalize=True, n_workers=4).fit(
+            edges, labels
+        )
+        gee_acc = accuracy(truth[unlabelled], gee.predict()[unlabelled])
+
+        lap = GraphEncoderEmbedding(
+            method="vectorized", laplacian=True, normalize=True
+        ).fit(edges, labels)
+        lap_acc = accuracy(truth[unlabelled], lap.predict()[unlabelled])
+
+        propagated = propagate_labels(edges, labels, n_classes=N_CLASSES)
+        prop_known = propagated != UNKNOWN_LABEL
+        prop_acc = accuracy(
+            truth[unlabelled & prop_known], propagated[unlabelled & prop_known]
+        )
+
+        rows.append(
+            {
+                "observed labels": f"{observed_fraction:.0%}",
+                "GEE (adjacency)": round(gee_acc, 3),
+                "GEE (Laplacian)": round(lap_acc, 3),
+                "label propagation": round(prop_acc, 3),
+                "embed time (ms)": round(gee.timings_["total"] * 1e3, 1),
+            }
+        )
+
+    print("accuracy on unlabelled vertices:\n")
+    print(format_markdown_table(rows))
+
+    from repro.core.gee_parallel import shutdown_workers
+
+    shutdown_workers()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Legacy setuptools entry point.
+
+All project metadata lives in ``pyproject.toml``; this shim exists so the
+package can still be installed in environments whose pip cannot perform
+PEP 517/660 editable builds (e.g. offline machines without the ``wheel``
+package, where ``pip install -e . --no-build-isolation --no-use-pep517``
+or ``python setup.py develop`` are the available fallbacks).
+"""
+
+from setuptools import setup
+
+if __name__ == "__main__":
+    setup()

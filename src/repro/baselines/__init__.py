@@ -1,0 +1,5 @@
+"""Reference baselines GEE is compared against (spectral embeddings)."""
+
+from .spectral import adjacency_spectral_embedding, laplacian_spectral_embedding
+
+__all__ = ["adjacency_spectral_embedding", "laplacian_spectral_embedding"]

@@ -1,0 +1,200 @@
+"""High-level user-facing API.
+
+:class:`GraphEncoderEmbedding` is the estimator-style entry point a
+downstream user works with: pick an implementation ("method"), fit on a
+graph plus (partial) labels, and read off the embedding.  It wraps the four
+functional implementations and the unsupervised refinement loop behind one
+interface, handles the adjacency/Laplacian choice, and exposes simple
+prediction helpers (nearest-class-centroid classification of unlabelled
+vertices), which is how GEE embeddings are typically consumed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Union
+
+import numpy as np
+
+from ..graph.edgelist import EdgeList
+from .gee_ligra import gee_ligra
+from .gee_parallel import gee_parallel
+from .gee_python import gee_python
+from .gee_vectorized import gee_vectorized
+from .laplacian import laplacian_reweight
+from .refinement import gee_unsupervised
+from .result import EmbeddingResult
+from .validation import UNKNOWN_LABEL, validate_edges, validate_labels
+
+__all__ = ["GraphEncoderEmbedding", "METHODS"]
+
+#: Mapping from method name to the functional implementation behind it.
+METHODS: Dict[str, Callable[..., EmbeddingResult]] = {
+    "python": gee_python,
+    "vectorized": gee_vectorized,
+    "ligra": gee_ligra,
+    "ligra-serial": lambda e, y, k=None, **kw: gee_ligra(e, y, k, backend="serial", **kw),
+    "ligra-parallel": lambda e, y, k=None, **kw: gee_ligra(e, y, k, backend="processes", **kw),
+    "parallel": gee_parallel,
+}
+
+
+class GraphEncoderEmbedding:
+    """One-Hot Graph Encoder Embedding estimator.
+
+    Parameters
+    ----------
+    n_classes:
+        Embedding dimensionality ``K``.  May be omitted for supervised fits
+        (inferred from the labels) but is required for unsupervised fits.
+    method:
+        One of ``"python"``, ``"vectorized"``, ``"ligra"``,
+        ``"ligra-serial"``, ``"ligra-parallel"``, ``"parallel"``.
+    laplacian:
+        Use the normalised-Laplacian edge weights instead of raw adjacency.
+    n_workers:
+        Worker count for the parallel methods.
+    normalize:
+        Row-normalise the embedding exposed via :attr:`embedding_`.
+
+    Examples
+    --------
+    >>> from repro.graph import planted_partition
+    >>> from repro.labels import mask_labels
+    >>> edges, truth = planted_partition(300, 3, 0.1, 0.01, seed=1)
+    >>> y = mask_labels(truth, 0.2, seed=1)
+    >>> model = GraphEncoderEmbedding(method="vectorized").fit(edges, y)
+    >>> model.embedding_.shape
+    (300, 3)
+    """
+
+    def __init__(
+        self,
+        n_classes: Optional[int] = None,
+        *,
+        method: str = "vectorized",
+        laplacian: bool = False,
+        n_workers: Optional[int] = None,
+        normalize: bool = False,
+    ) -> None:
+        if method not in METHODS:
+            raise ValueError(f"unknown method {method!r}; available: {sorted(METHODS)}")
+        self.n_classes = n_classes
+        self.method = method
+        self.laplacian = laplacian
+        self.n_workers = n_workers
+        self.normalize = normalize
+        # Fitted state
+        self.result_: Optional[EmbeddingResult] = None
+        self.labels_: Optional[np.ndarray] = None
+        self.is_fitted_: bool = False
+
+    # ------------------------------------------------------------------ #
+    # Fitting
+    # ------------------------------------------------------------------ #
+    def _impl_kwargs(self) -> dict:
+        if self.method in ("ligra", "ligra-serial", "ligra-parallel", "parallel"):
+            return {"n_workers": self.n_workers}
+        return {}
+
+    def _prepare_edges(self, edges: EdgeList) -> EdgeList:
+        edges = validate_edges(edges)
+        return laplacian_reweight(edges) if self.laplacian else edges
+
+    def fit(self, edges: EdgeList, labels: np.ndarray) -> "GraphEncoderEmbedding":
+        """Semi-supervised fit: embed using the given (partial) labels."""
+        work = self._prepare_edges(edges)
+        y, k = validate_labels(labels, work.n_vertices, self.n_classes)
+        impl = METHODS[self.method]
+        self.result_ = impl(work, y, k, **self._impl_kwargs())
+        self.labels_ = y
+        self.n_classes = k
+        self.is_fitted_ = True
+        return self
+
+    def fit_unsupervised(
+        self,
+        edges: EdgeList,
+        *,
+        max_iterations: int = 20,
+        seed: Optional[int] = 0,
+    ) -> "GraphEncoderEmbedding":
+        """Unsupervised fit via the embed → cluster → re-embed loop."""
+        if self.n_classes is None:
+            raise ValueError("n_classes must be set for unsupervised fitting")
+        work = self._prepare_edges(edges)
+        impl = METHODS[self.method]
+        refinement = gee_unsupervised(
+            work,
+            self.n_classes,
+            max_iterations=max_iterations,
+            implementation=impl,
+            seed=seed,
+            **self._impl_kwargs(),
+        )
+        self.result_ = refinement.final
+        self.labels_ = refinement.labels
+        self.is_fitted_ = True
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Fitted attributes
+    # ------------------------------------------------------------------ #
+    def _check_fitted(self) -> EmbeddingResult:
+        if not self.is_fitted_ or self.result_ is None:
+            raise RuntimeError("this GraphEncoderEmbedding instance is not fitted yet")
+        return self.result_
+
+    @property
+    def embedding_(self) -> np.ndarray:
+        """The fitted ``(n, K)`` embedding (row-normalised if configured)."""
+        result = self._check_fitted()
+        return result.normalized() if self.normalize else result.embedding
+
+    @property
+    def projection_(self) -> np.ndarray:
+        """The fitted projection matrix ``W``."""
+        return self._check_fitted().projection
+
+    @property
+    def timings_(self) -> Dict[str, float]:
+        """Phase timings of the fit."""
+        return dict(self._check_fitted().timings)
+
+    # ------------------------------------------------------------------ #
+    # Downstream helpers
+    # ------------------------------------------------------------------ #
+    def class_centroids(self) -> np.ndarray:
+        """Mean embedding of the labelled vertices of each class."""
+        result = self._check_fitted()
+        assert self.labels_ is not None and self.n_classes is not None
+        Z = result.normalized() if self.normalize else result.embedding
+        centroids = np.zeros((self.n_classes, Z.shape[1]), dtype=np.float64)
+        for k in range(self.n_classes):
+            members = np.flatnonzero(self.labels_ == k)
+            if members.size:
+                centroids[k] = Z[members].mean(axis=0)
+        return centroids
+
+    def predict(self, vertices: Optional[np.ndarray] = None) -> np.ndarray:
+        """Nearest-centroid class prediction for the given vertices.
+
+        Labelled vertices keep their given label; unlabelled ones are
+        assigned the class whose centroid is nearest in the embedding.
+        ``vertices=None`` predicts for every vertex.
+        """
+        result = self._check_fitted()
+        assert self.labels_ is not None
+        Z = result.normalized() if self.normalize else result.embedding
+        if vertices is None:
+            vertices = np.arange(Z.shape[0])
+        vertices = np.asarray(vertices, dtype=np.int64)
+        centroids = self.class_centroids()
+        dists = (
+            np.sum(Z[vertices] ** 2, axis=1, keepdims=True)
+            - 2.0 * Z[vertices] @ centroids.T
+            + np.sum(centroids**2, axis=1)[None, :]
+        )
+        pred = np.argmin(dists, axis=1).astype(np.int64)
+        known = self.labels_[vertices] != UNKNOWN_LABEL
+        pred[known] = self.labels_[vertices][known]
+        return pred

@@ -1,0 +1,390 @@
+"""Edge-parallel GEE over forked workers and shared memory.
+
+This is the dedicated kernel behind the strong-scaling experiment
+(Figure 3): it exposes the worker count explicitly, reports a per-phase
+timing breakdown, and keeps the parallel machinery visible (row
+partitioning, shared-memory output) rather than hiding it inside the
+engine.  ``gee_ligra`` and this function compute the same embedding; this
+one exists so the scaling study can sweep workers cheaply.
+
+Parallelisation strategy
+------------------------
+Ligra's ``edgeMapDense`` iterates over *destination* vertices and their
+in-edges, which makes every embedding row single-writer; the atomics only
+guard the much rarer source-row updates.  The kernel here takes that idea
+to its limit with an **owner-computes row partition**:
+
+* the embedding rows (vertices) are split into ``p`` ranges balanced by
+  total (in + out) degree;
+* worker ``j`` computes *all* contributions that land in its row range —
+  the out-edge contributions ``Z[u, Y[v]]`` for its ``u`` range (read from
+  the CSR out-adjacency) and the in-edge contributions ``Z[v, Y[u]]`` for
+  its ``v`` range (read from the CSC in-adjacency);
+* each worker writes its block of the shared-memory ``Z`` directly.
+
+No two workers ever write the same row, so there are no atomics, no locks
+and no reduction — the CPython substitute for Ligra's lock-free writeAdd
+that preserves the edge-parallel structure (every edge is still visited
+exactly twice, once per endpoint) while sidestepping the GIL entirely.
+
+Worker management mirrors how Ligra treats its thread pool: the workers are
+a long-lived resource created once per session (``fork`` is two orders of
+magnitude more expensive than dispatching a task to an already-forked
+worker in this environment), and each embedding call only dispatches row
+ranges to them.  All inputs and the output travel through named POSIX
+shared memory; the shared copy of the adjacency is cached between calls on
+the same graph, so repeated runs (benchmark repeats, worker sweeps) pay the
+one-time copy only once — the analogue of Ligra having loaded the graph
+before the timed region starts.
+"""
+
+from __future__ import annotations
+
+import atexit
+import time
+import weakref
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..graph.edgelist import EdgeList
+from ..parallel.partition import block_ranges
+from ..parallel.pool import ForkWorkerPool, effective_worker_count, fork_available
+from ..parallel.shm import SharedArrayHandle, SharedArraySet, attach_many
+from .gee_vectorized import scatter_add
+from .projection import projection_from_scales, projection_scales
+from .result import EmbeddingResult
+from .validation import UNKNOWN_LABEL, validate_edges, validate_labels
+
+__all__ = ["gee_parallel", "owner_rows_accumulate", "shutdown_workers"]
+
+
+def owner_rows_accumulate(
+    row_lo: int,
+    row_hi: int,
+    out_indptr: np.ndarray,
+    out_indices: np.ndarray,
+    out_weights: np.ndarray,
+    in_indptr: np.ndarray,
+    in_indices: np.ndarray,
+    in_weights: np.ndarray,
+    labels: np.ndarray,
+    scales: np.ndarray,
+    n_classes: int,
+) -> np.ndarray:
+    """Compute the embedding rows ``row_lo:row_hi`` from scratch.
+
+    Combines the out-edge contributions (``Z[u, Y[v]] += scale[v]·w`` for
+    ``u`` in the row range) and the in-edge contributions
+    (``Z[v, Y[u]] += scale[u]·w`` for ``v`` in the row range) of every edge
+    incident to the range.  Returns the dense ``(row_hi-row_lo, K)`` block.
+    """
+    n_rows = row_hi - row_lo
+    block = np.zeros(n_rows * n_classes, dtype=np.float64)
+    if n_rows <= 0:
+        return block.reshape(0, n_classes)
+
+    # Out-edges of the owned rows: source row gets the destination's class.
+    lo, hi = int(out_indptr[row_lo]), int(out_indptr[row_hi])
+    if hi > lo:
+        dst = out_indices[lo:hi]
+        w = out_weights[lo:hi]
+        deg = np.diff(out_indptr[row_lo : row_hi + 1])
+        src_local = np.repeat(np.arange(n_rows, dtype=np.int64), deg)
+        y_dst = labels[dst]
+        known = y_dst != UNKNOWN_LABEL
+        if np.any(known):
+            flat = src_local[known] * n_classes + y_dst[known]
+            scatter_add(block, flat, scales[dst[known]] * w[known])
+
+    # In-edges of the owned rows: destination row gets the source's class.
+    lo, hi = int(in_indptr[row_lo]), int(in_indptr[row_hi])
+    if hi > lo:
+        src = in_indices[lo:hi]
+        w = in_weights[lo:hi]
+        deg = np.diff(in_indptr[row_lo : row_hi + 1])
+        dst_local = np.repeat(np.arange(n_rows, dtype=np.int64), deg)
+        y_src = labels[src]
+        known = y_src != UNKNOWN_LABEL
+        if np.any(known):
+            flat = dst_local[known] * n_classes + y_src[known]
+            scatter_add(block, flat, scales[src[known]] * w[known])
+    return block.reshape(n_rows, n_classes)
+
+
+#: Worker-process cache of shared-memory attachments, keyed by segment name.
+#: Re-mapping (and therefore re-faulting) hundreds of megabytes of adjacency
+#: on every task would dominate the runtime in this sandbox, so each worker
+#: attaches a given segment once and keeps the mapping for its lifetime.
+_WORKER_ATTACHMENTS: Dict[str, tuple] = {}
+
+
+def _attach_cached(handles: Dict[str, SharedArrayHandle]) -> Dict[str, np.ndarray]:
+    """Attach to every handle, reusing mappings cached in this process."""
+    from ..parallel.shm import attach
+
+    views: Dict[str, np.ndarray] = {}
+    for name, handle in handles.items():
+        cached = _WORKER_ATTACHMENTS.get(handle.shm_name)
+        if cached is None:
+            view, seg = attach(handle)
+            _WORKER_ATTACHMENTS[handle.shm_name] = (view, seg)
+            cached = (view, seg)
+        views[name] = cached[0]
+    return views
+
+
+def _pool_task(
+    _context: dict,
+    handles: Dict[str, SharedArrayHandle],
+    row_lo: int,
+    row_hi: int,
+    n_classes: int,
+) -> None:
+    """Worker task: fill the owned row block of the shared embedding.
+
+    Runs inside a long-lived pool worker; all arrays are reached through the
+    shared-memory handles, so the task payload is a few hundred bytes.
+    """
+    views = _attach_cached(handles)
+    block = owner_rows_accumulate(
+        row_lo,
+        row_hi,
+        views["out_indptr"],
+        views["out_indices"],
+        views["out_weights"],
+        views["in_indptr"],
+        views["in_indices"],
+        views["in_weights"],
+        views["labels"],
+        views["scales"],
+        n_classes,
+    )
+    views["Z"][row_lo:row_hi, :] = block
+
+
+# --------------------------------------------------------------------------- #
+# Long-lived worker pool and shared-graph cache
+# --------------------------------------------------------------------------- #
+_POOL: Optional[ForkWorkerPool] = None
+
+
+def _get_pool() -> ForkWorkerPool:
+    """The session-wide worker pool (created lazily, reused across calls)."""
+    global _POOL
+    if _POOL is None or _POOL._closed:  # noqa: SLF001 - own class
+        _POOL = ForkWorkerPool(effective_worker_count(None))
+    return _POOL
+
+
+def shutdown_workers() -> None:
+    """Terminate the session's GEE worker pool and drop the graph cache.
+
+    Mostly useful in tests and at interpreter shutdown; a subsequent
+    :func:`gee_parallel` call transparently recreates the pool.
+    """
+    global _POOL, _WORKSPACE
+    if _POOL is not None:
+        _POOL.close()
+        _POOL = None
+    for entry in list(_GRAPH_CACHE.values()):
+        entry.close()
+    _GRAPH_CACHE.clear()
+    if _WORKSPACE is not None:
+        _WORKSPACE.close()
+        _WORKSPACE = None
+
+
+atexit.register(shutdown_workers)
+
+
+class _SharedGraph:
+    """Shared-memory copy of one graph's adjacency arrays."""
+
+    def __init__(self, csr: CSRGraph) -> None:
+        self.shm = SharedArraySet()
+        self.shm.share("out_indptr", csr.indptr)
+        self.shm.share("out_indices", csr.indices)
+        self.shm.share("out_weights", csr.weights)
+        self.shm.share("in_indptr", csr.in_indptr)
+        self.shm.share("in_indices", csr.in_indices)
+        self.shm.share("in_weights", csr.in_weights)
+        self.handles = self.shm.handles()
+
+    def close(self) -> None:
+        self.shm.close()
+
+
+#: Cache of shared-memory graphs keyed by the id() of the CSRGraph; entries
+#: are dropped automatically when the CSRGraph is garbage collected.
+_GRAPH_CACHE: Dict[int, _SharedGraph] = {}
+
+
+class _Workspace:
+    """Reusable per-call shared buffers (labels, scales, embedding output).
+
+    Reusing the same named segments across calls lets the pool workers keep
+    their mappings warm (see ``_WORKER_ATTACHMENTS``); only the small label
+    and scale vectors are rewritten per call.
+    """
+
+    def __init__(self, n: int, k: int) -> None:
+        self.n, self.k = n, k
+        self.shm = SharedArraySet()
+        self.labels = self.shm.empty("labels", (n,), np.int64)
+        self.scales = self.shm.empty("scales", (n,), np.float64)
+        self.Z = self.shm.empty("Z", (n, k), np.float64)
+        self.handles = self.shm.handles()
+
+    def close(self) -> None:
+        self.shm.close()
+
+
+_WORKSPACE: Optional[_Workspace] = None
+
+
+def _workspace_for(n: int, k: int) -> _Workspace:
+    global _WORKSPACE
+    if _WORKSPACE is None or _WORKSPACE.n != n or _WORKSPACE.k != k:
+        if _WORKSPACE is not None:
+            _WORKSPACE.close()
+        _WORKSPACE = _Workspace(n, k)
+    return _WORKSPACE
+
+
+def _shared_graph_for(csr: CSRGraph) -> _SharedGraph:
+    key = id(csr)
+    cached = _GRAPH_CACHE.get(key)
+    if cached is not None:
+        return cached
+    entry = _SharedGraph(csr)
+    _GRAPH_CACHE[key] = entry
+
+    def _evict(_ref, key=key) -> None:
+        stale = _GRAPH_CACHE.pop(key, None)
+        if stale is not None:
+            stale.close()
+
+    weakref.finalize(csr, _evict, None)
+    return entry
+
+
+def _balanced_row_ranges(
+    out_indptr: np.ndarray, in_indptr: np.ndarray, n_parts: int
+) -> list:
+    """Split vertices into ranges with near-equal total (in+out) edge work."""
+    n = out_indptr.size - 1
+    work = out_indptr[1:] - out_indptr[:-1] + in_indptr[1:] - in_indptr[:-1]
+    cum = np.concatenate([[0], np.cumsum(work)])
+    total = cum[-1]
+    if total == 0:
+        return block_ranges(n, n_parts)
+    targets = np.linspace(0, total, n_parts + 1)
+    cuts = np.searchsorted(cum, targets, side="left")
+    cuts[0], cuts[-1] = 0, n
+    cuts = np.maximum.accumulate(np.clip(cuts, 0, n))
+    return [(int(cuts[i]), int(cuts[i + 1])) for i in range(n_parts)]
+
+
+def gee_parallel(
+    edges: Union[EdgeList, CSRGraph],
+    labels: np.ndarray,
+    n_classes: Optional[int] = None,
+    *,
+    n_workers: Optional[int] = None,
+) -> EmbeddingResult:
+    """One-Hot Graph Encoder Embedding, process-parallel over shared memory.
+
+    Parameters
+    ----------
+    edges:
+        The graph as an :class:`EdgeList` or a prebuilt :class:`CSRGraph`.
+        Adjacency construction (the equivalent of Ligra loading its graph)
+        is reported separately under the ``"preprocess"`` timing and is not
+        part of the embedding time.
+    labels, n_classes:
+        As in :func:`repro.core.gee_python.gee_python`.
+    n_workers:
+        Number of forked workers; ``None`` uses every available CPU, ``1``
+        runs the kernel in-process (no fork) which is the serial anchor of
+        the strong-scaling curve.
+
+    Notes
+    -----
+    Platforms without the ``fork`` start method fall back to single-process
+    execution (reported via ``n_workers=1`` on the result).
+    """
+    timings: Dict[str, float] = {}
+    t_pre = time.perf_counter()
+    if isinstance(edges, CSRGraph):
+        csr = edges
+    else:
+        edges = validate_edges(edges)
+        csr = edges.to_csr()
+    n = csr.n_vertices
+    # Force construction of the in-adjacency before timing the edge pass.
+    in_indptr = csr.in_indptr
+    in_indices = csr.in_indices
+    in_weights = csr.in_weights
+    timings["preprocess"] = time.perf_counter() - t_pre
+
+    y, k = validate_labels(labels, n, n_classes)
+    requested = effective_worker_count(n_workers)
+
+    t0 = time.perf_counter()
+    # Algorithm 2 lines 3-6, in the compact per-vertex form: the scales are
+    # O(n) to build and the dense W follows with one vectorised assignment.
+    scales = projection_scales(y, k)
+    W = projection_from_scales(y, scales, k)
+    t1 = time.perf_counter()
+    timings["projection"] = t1 - t0
+
+    if requested == 1 or not fork_available() or csr.n_edges == 0 or n == 0:
+        Z = owner_rows_accumulate(
+            0,
+            n,
+            csr.indptr,
+            csr.indices,
+            csr.weights,
+            in_indptr,
+            in_indices,
+            in_weights,
+            y,
+            scales,
+            k,
+        )
+        t2 = time.perf_counter()
+        timings["edge_pass"] = t2 - t1
+        timings["total"] = t2 - t0
+        return EmbeddingResult(
+            embedding=Z, projection=W, timings=timings, method="gee-parallel", n_workers=1
+        )
+
+    ranges = _balanced_row_ranges(csr.indptr, in_indptr, requested)
+    # Shared-memory plumbing: the adjacency copy is cached per graph (graph
+    # loading, reported as preprocess); labels/scales/Z are per call.
+    t_share = time.perf_counter()
+    shared_graph = _shared_graph_for(csr)
+    pool = _get_pool()
+    timings["preprocess"] += time.perf_counter() - t_share
+
+    workspace = _workspace_for(n, k)
+    workspace.labels[:] = y
+    workspace.scales[:] = scales
+    handles = dict(shared_graph.handles)
+    handles.update(workspace.handles)
+
+    t_edge = time.perf_counter()
+    pool.map(
+        _pool_task,
+        [(handles, row_lo, row_hi, k) for row_lo, row_hi in ranges],
+    )
+    Z = np.array(workspace.Z, dtype=np.float64, copy=True)
+    t2 = time.perf_counter()
+    timings["edge_pass"] = t2 - t_edge
+    timings["total"] = t2 - t0
+
+    return EmbeddingResult(
+        embedding=Z, projection=W, timings=timings, method="gee-parallel", n_workers=requested
+    )

@@ -1,0 +1,92 @@
+"""Construction of the GEE projection matrix ``W``.
+
+Algorithm 1, lines 2–6: for each class ``k``, every vertex with label ``k``
+gets ``W[vertex, k] = 1 / count(Y == k)``; all other entries are zero.
+Algorithm 2 parallelises this loop over classes (it costs ``O(nK)`` and
+becomes the dominant term only for very sparse graphs, §III) — both the
+serial and the class-parallel construction are provided, plus the compact
+"per-vertex scale" form the fast kernels use (they never materialise the
+dense ``W``; only ``W[v, Y[v]] = 1 / n_{Y[v]}`` is ever read).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .validation import UNKNOWN_LABEL, class_counts
+
+__all__ = [
+    "build_projection",
+    "build_projection_parallel",
+    "projection_scales",
+    "projection_from_scales",
+]
+
+
+def build_projection(labels: np.ndarray, n_classes: int) -> np.ndarray:
+    """Serial construction of ``W`` (Algorithm 1, lines 2–6)."""
+    n = labels.shape[0]
+    W = np.zeros((n, n_classes), dtype=np.float64)
+    counts = class_counts(labels, n_classes)
+    for k in range(n_classes):
+        if counts[k] == 0:
+            continue
+        idx = np.flatnonzero(labels == k)
+        W[idx, k] = 1.0 / counts[k]
+    return W
+
+
+def build_projection_parallel(
+    labels: np.ndarray, n_classes: int, *, n_workers: Optional[int] = None
+) -> np.ndarray:
+    """Class-parallel construction of ``W`` (Algorithm 2, lines 3–6).
+
+    Each class's column is independent, so the loop over ``k`` is a natural
+    parallel-for.  Threads are sufficient here because the per-class work is
+    a NumPy masked assignment (the GIL is released inside NumPy for the bulk
+    of it) and the total work is only ``O(nK)``.
+    """
+    n = labels.shape[0]
+    W = np.zeros((n, n_classes), dtype=np.float64)
+    counts = class_counts(labels, n_classes)
+
+    def fill(k: int) -> None:
+        if counts[k] == 0:
+            return
+        idx = np.flatnonzero(labels == k)
+        W[idx, k] = 1.0 / counts[k]
+
+    if n_classes == 0:
+        return W
+    with ThreadPoolExecutor(max_workers=n_workers) as pool:
+        list(pool.map(fill, range(n_classes)))
+    return W
+
+
+def projection_scales(labels: np.ndarray, n_classes: int) -> np.ndarray:
+    """Per-vertex scale ``W[v, Y[v]]`` (0 for unlabelled vertices).
+
+    The edge pass only ever reads ``W(v, Y(v))`` (Algorithm 1, lines 10–11),
+    so the fast kernels carry this length-``n`` vector instead of the dense
+    ``n×K`` matrix — same values, ``K×`` less memory traffic.
+    """
+    counts = class_counts(labels, n_classes).astype(np.float64)
+    scales = np.zeros(labels.shape[0], dtype=np.float64)
+    known = labels != UNKNOWN_LABEL
+    lab = labels[known]
+    with np.errstate(divide="ignore"):
+        inv = np.where(counts > 0, 1.0 / np.maximum(counts, 1), 0.0)
+    scales[known] = inv[lab]
+    return scales
+
+
+def projection_from_scales(labels: np.ndarray, scales: np.ndarray, n_classes: int) -> np.ndarray:
+    """Rebuild the dense ``W`` from per-vertex scales (for reporting/tests)."""
+    n = labels.shape[0]
+    W = np.zeros((n, n_classes), dtype=np.float64)
+    known = np.flatnonzero(labels != UNKNOWN_LABEL)
+    W[known, labels[known]] = scales[known]
+    return W

@@ -1,0 +1,141 @@
+"""Unsupervised GEE: the embed → cluster → re-embed refinement loop.
+
+When no labels are available, the original GEE paper bootstraps them: start
+from a random assignment into ``K`` classes, embed, cluster the embedding
+with k-means, use the clusters as the next label vector, and repeat until
+the assignment stabilises.  Because each iteration is a single GEE pass plus
+a k-means on an ``n×K`` matrix, the whole loop stays linear in the number of
+edges — and every iteration can use any of the GEE implementations,
+including the parallel one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Union
+
+import numpy as np
+
+from ..graph.edgelist import EdgeList
+from ..labels.kmeans import kmeans
+from .gee_vectorized import gee_vectorized
+from .result import EmbeddingResult
+from .validation import validate_edges
+
+__all__ = ["RefinementResult", "gee_unsupervised"]
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+@dataclass
+class RefinementResult:
+    """Output of the unsupervised refinement loop."""
+
+    embedding: np.ndarray
+    labels: np.ndarray
+    n_iterations: int
+    converged: bool
+    history: List[float] = field(default_factory=list)
+    final: Optional[EmbeddingResult] = None
+
+
+def _align_labels(reference: np.ndarray, new: np.ndarray, n_classes: int) -> np.ndarray:
+    """Permute ``new``'s cluster ids to best match ``reference``.
+
+    k-means assigns arbitrary cluster ids each round; without alignment the
+    loop would never register convergence even when the partition is stable.
+    Alignment uses the Hungarian algorithm on the confusion matrix.
+    """
+    from scipy.optimize import linear_sum_assignment
+
+    table = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(table, (new, reference), 1)
+    rows, cols = linear_sum_assignment(-table)
+    mapping = np.arange(n_classes, dtype=np.int64)
+    mapping[rows] = cols
+    return mapping[new]
+
+
+def _agreement(a: np.ndarray, b: np.ndarray) -> float:
+    """Fraction of vertices whose label did not change between iterations."""
+    if a.size == 0:
+        return 1.0
+    return float(np.mean(a == b))
+
+
+def gee_unsupervised(
+    edges: EdgeList,
+    n_classes: int,
+    *,
+    max_iterations: int = 20,
+    convergence_fraction: float = 0.999,
+    implementation: Callable[..., EmbeddingResult] = gee_vectorized,
+    seed: SeedLike = 0,
+    initial_labels: Optional[np.ndarray] = None,
+    normalize: bool = True,
+    **impl_kwargs,
+) -> RefinementResult:
+    """Iteratively refine labels and embedding without supervision.
+
+    Parameters
+    ----------
+    edges:
+        The graph (symmetrised for undirected data).
+    n_classes:
+        Number of clusters / embedding dimensions ``K``.
+    max_iterations:
+        Cap on the number of embed-cluster rounds.
+    convergence_fraction:
+        Stop when at least this fraction of vertices keeps its label between
+        consecutive rounds.
+    implementation:
+        Which GEE implementation performs each embedding pass.
+    initial_labels:
+        Optional warm start (e.g. from
+        :func:`repro.labels.leiden.leiden_communities`); random otherwise.
+    normalize:
+        Row-normalise the embedding before clustering (recommended by the
+        original GEE paper; keeps hubs from dominating the k-means).
+    """
+    edges = validate_edges(edges)
+    if n_classes <= 0:
+        raise ValueError("n_classes must be positive")
+    if not 0 < convergence_fraction <= 1:
+        raise ValueError("convergence_fraction must be in (0, 1]")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    n = edges.n_vertices
+
+    if initial_labels is not None:
+        labels = np.asarray(initial_labels, dtype=np.int64).copy()
+        if labels.shape[0] != n:
+            raise ValueError("initial_labels must have one entry per vertex")
+        labels = np.where(labels < 0, rng.integers(0, n_classes, size=n), labels)
+        labels = np.minimum(labels, n_classes - 1)
+    else:
+        labels = rng.integers(0, n_classes, size=n).astype(np.int64)
+
+    history: List[float] = []
+    converged = False
+    result: Optional[EmbeddingResult] = None
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        result = implementation(edges, labels, n_classes, **impl_kwargs)
+        X = result.normalized() if normalize else result.embedding
+        km = kmeans(X, n_classes, seed=rng)
+        new_labels = _align_labels(labels, km.labels, n_classes)
+        agreement = _agreement(labels, new_labels)
+        history.append(agreement)
+        labels = new_labels
+        if agreement >= convergence_fraction:
+            converged = True
+            break
+
+    assert result is not None
+    return RefinementResult(
+        embedding=result.embedding,
+        labels=labels,
+        n_iterations=iteration,
+        converged=converged,
+        history=history,
+        final=result,
+    )

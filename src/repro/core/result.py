@@ -1,0 +1,64 @@
+"""Result container shared by all GEE implementations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["EmbeddingResult"]
+
+
+@dataclass
+class EmbeddingResult:
+    """Output of a GEE run.
+
+    Attributes
+    ----------
+    embedding:
+        ``Z ∈ R^{n×K}`` — the node embeddings (Algorithm 1/2 output).
+    projection:
+        ``W ∈ R^{n×K}`` — the projection matrix built from the labels.
+    timings:
+        Wall-clock seconds of the phases an implementation chooses to
+        report.  All implementations report ``"total"``; most also report
+        ``"projection"`` (the O(nK) initialisation) and ``"edge_pass"``
+        (the O(s) loop), which is the split the paper discusses in §III.
+    method:
+        Name of the implementation that produced the result.
+    n_workers:
+        Worker count used (1 for the serial implementations).
+    """
+
+    embedding: np.ndarray
+    projection: np.ndarray
+    timings: Dict[str, float] = field(default_factory=dict)
+    method: str = "unknown"
+    n_workers: int = 1
+
+    @property
+    def n_vertices(self) -> int:
+        """Number of embedded vertices."""
+        return int(self.embedding.shape[0])
+
+    @property
+    def n_classes(self) -> int:
+        """Embedding dimensionality ``K``."""
+        return int(self.embedding.shape[1])
+
+    @property
+    def total_seconds(self) -> float:
+        """Total wall-clock time of the run."""
+        return float(self.timings.get("total", float("nan")))
+
+    def normalized(self) -> np.ndarray:
+        """Row-normalised embedding (unit L2 norm; zero rows left at zero).
+
+        The original GEE paper recommends row normalisation before
+        clustering or classification; it does not change class structure,
+        only scale.
+        """
+        norms = np.linalg.norm(self.embedding, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        return self.embedding / norms

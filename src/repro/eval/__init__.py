@@ -1,0 +1,31 @@
+"""Evaluation harness: metrics, timing, machine model, experiment drivers."""
+
+from .machine_model import PAPER_MACHINE, MachineModel, fit_p_half
+from .metrics import (
+    accuracy,
+    adjusted_rand_index,
+    best_match_accuracy,
+    confusion_matrix,
+    normalized_mutual_information,
+    within_between_separation,
+)
+from .reporting import ascii_line_plot, format_csv, format_markdown_table
+from .timing import Timer, TimingRecord, time_callable
+
+__all__ = [
+    "accuracy",
+    "confusion_matrix",
+    "adjusted_rand_index",
+    "normalized_mutual_information",
+    "best_match_accuracy",
+    "within_between_separation",
+    "Timer",
+    "TimingRecord",
+    "time_callable",
+    "MachineModel",
+    "PAPER_MACHINE",
+    "fit_p_half",
+    "format_markdown_table",
+    "format_csv",
+    "ascii_line_plot",
+]

@@ -1,0 +1,147 @@
+"""Analytical machine model for the paper's 24-core testbed.
+
+The paper measures strong scaling on a 24-core Xeon 8259CL and observes an
+11× speedup at 24 cores, attributing the sub-linear tail to the workload
+being memory-bound ("two fused-multiply adds per edge and two memory
+writes, one of which is likely to miss", §IV).  This environment has a
+different core count and a very different software stack, so Figure 3's
+x-axis cannot be swept natively.  The roofline-style model here regenerates
+the *shape* of that curve from first principles, and is calibrated so the
+headline point (≈11× at 24 cores) matches the paper.
+
+Model
+-----
+Per-edge work splits into a compute term that scales with cores and a
+memory term limited by a bandwidth that saturates as cores are added::
+
+    T(p) = max( C_edge · s / p,  M_edge · s / B(p) ) + T_serial
+    B(p) = B_max · p / (p + p_half)        (saturating bandwidth)
+
+``p_half`` is the core count at which half the peak bandwidth is reached —
+the single knob controlling how quickly the memory system saturates.  The
+defaults reproduce the paper's measured points within a few percent and are
+also used to extrapolate measured local runs out to 24 cores in Figure 3's
+"model" series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+__all__ = ["MachineModel", "PAPER_MACHINE", "fit_p_half"]
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Roofline-style cost model of a shared-memory machine running GEE.
+
+    Attributes
+    ----------
+    n_cores:
+        Physical core count of the modelled machine.
+    compute_per_edge:
+        Seconds of per-core compute per edge (the two fused multiply-adds
+        plus loop overhead).
+    bytes_per_edge:
+        Main-memory traffic per edge in bytes: reading the edge endpoints
+        and weight, the label/scale of both endpoints, and one likely-miss
+        write to ``Z`` (§IV).
+    peak_bandwidth:
+        Effective saturated memory bandwidth in bytes/second for this access
+        pattern (random writes into ``Z`` miss the cache, so this is far
+        below the machine's streaming bandwidth).
+    bandwidth_half_cores:
+        ``p_half`` of the saturating-bandwidth curve.
+    serial_fraction:
+        Fraction of the single-core runtime that does not parallelise
+        (projection init, frontier setup, reduction).
+    """
+
+    n_cores: int = 24
+    compute_per_edge: float = 4.2e-8
+    bytes_per_edge: float = 40.0
+    peak_bandwidth: float = 1.2e10
+    bandwidth_half_cores: float = 3.0
+    serial_fraction: float = 0.005
+
+    def bandwidth(self, p: float) -> float:
+        """Effective memory bandwidth with ``p`` active cores."""
+        if p <= 0:
+            raise ValueError("core count must be positive")
+        return self.peak_bandwidth * p / (p + self.bandwidth_half_cores)
+
+    def runtime(self, n_edges: int, p: int = 1) -> float:
+        """Predicted runtime in seconds for an ``n_edges`` edge pass."""
+        if n_edges < 0:
+            raise ValueError("n_edges must be non-negative")
+        if p <= 0:
+            raise ValueError("core count must be positive")
+        compute = self.compute_per_edge * n_edges / p
+        memory = self.bytes_per_edge * n_edges / self.bandwidth(p)
+        serial = self.serial_fraction * (
+            self.compute_per_edge + self.bytes_per_edge / self.peak_bandwidth
+        ) * n_edges
+        return max(compute, memory) + serial
+
+    def speedup(self, n_edges: int, p: int) -> float:
+        """Predicted strong-scaling speedup at ``p`` cores."""
+        return self.runtime(n_edges, 1) / self.runtime(n_edges, p)
+
+    def speedup_curve(self, n_edges: int, cores: Iterable[int]) -> Dict[int, float]:
+        """Speedups for a list of core counts (Figure 3's model series)."""
+        return {int(p): self.speedup(n_edges, int(p)) for p in cores}
+
+    def scaled(self, measured_serial: float, n_edges: int) -> "MachineModel":
+        """Return a copy rescaled so the 1-core prediction matches a
+        measured serial runtime (used to overlay the model on local runs)."""
+        predicted = self.runtime(n_edges, 1)
+        if predicted <= 0 or measured_serial <= 0:
+            return self
+        factor = measured_serial / predicted
+        return MachineModel(
+            n_cores=self.n_cores,
+            compute_per_edge=self.compute_per_edge * factor,
+            bytes_per_edge=self.bytes_per_edge * factor,
+            peak_bandwidth=self.peak_bandwidth,
+            bandwidth_half_cores=self.bandwidth_half_cores,
+            serial_fraction=self.serial_fraction,
+        )
+
+
+#: Model parameterised for the paper's Xeon 8259CL node; its 24-core speedup
+#: on a Friendster-sized edge pass is ≈11×, matching Figure 3's endpoint.
+PAPER_MACHINE = MachineModel()
+
+
+def fit_p_half(
+    cores: List[int], speedups: List[float], n_edges: int, base: MachineModel = PAPER_MACHINE
+) -> MachineModel:
+    """Fit the bandwidth-saturation knee to measured (cores, speedup) points.
+
+    A one-dimensional grid search over ``p_half``; coarse but robust, and
+    enough to overlay a calibrated model on locally measured scaling data.
+    """
+    if len(cores) != len(speedups) or not cores:
+        raise ValueError("cores and speedups must be equal-length, non-empty lists")
+    candidates = np.linspace(0.2, 20.0, 200)
+    best_model = base
+    best_err = float("inf")
+    for p_half in candidates:
+        model = MachineModel(
+            n_cores=base.n_cores,
+            compute_per_edge=base.compute_per_edge,
+            bytes_per_edge=base.bytes_per_edge,
+            peak_bandwidth=base.peak_bandwidth,
+            bandwidth_half_cores=float(p_half),
+            serial_fraction=base.serial_fraction,
+        )
+        err = 0.0
+        for p, s in zip(cores, speedups):
+            err += (model.speedup(n_edges, p) - s) ** 2
+        if err < best_err:
+            best_err = err
+            best_model = model
+    return best_model

@@ -1,0 +1,143 @@
+"""Evaluation metrics for embeddings and clusterings.
+
+Implemented from scratch (no scikit-learn offline): classification
+accuracy, adjusted Rand index, normalised mutual information, and simple
+embedding-separation diagnostics used by the quality tests (E8).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy.special import comb
+
+__all__ = [
+    "accuracy",
+    "confusion_matrix",
+    "adjusted_rand_index",
+    "normalized_mutual_information",
+    "best_match_accuracy",
+    "within_between_separation",
+]
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of matching labels."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("label arrays must have the same shape")
+    if y_true.size == 0:
+        return 1.0
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+    """Contingency table of true (rows) versus predicted (columns) labels."""
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("label arrays must have the same shape")
+    if y_true.size == 0:
+        return np.zeros((0, 0), dtype=np.int64)
+    t_classes, t_inv = np.unique(y_true, return_inverse=True)
+    p_classes, p_inv = np.unique(y_pred, return_inverse=True)
+    table = np.zeros((t_classes.size, p_classes.size), dtype=np.int64)
+    np.add.at(table, (t_inv, p_inv), 1)
+    return table
+
+
+def adjusted_rand_index(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Adjusted Rand index between two partitions (1 = identical, ~0 = random)."""
+    table = confusion_matrix(y_true, y_pred)
+    n = table.sum()
+    if n <= 1:
+        return 1.0
+    sum_comb_c = comb(table.sum(axis=1), 2).sum()
+    sum_comb_k = comb(table.sum(axis=0), 2).sum()
+    sum_comb = comb(table, 2).sum()
+    total = comb(n, 2)
+    expected = sum_comb_c * sum_comb_k / total
+    max_index = 0.5 * (sum_comb_c + sum_comb_k)
+    denom = max_index - expected
+    if denom == 0:
+        return 1.0
+    return float((sum_comb - expected) / denom)
+
+
+def _entropy(counts: np.ndarray) -> float:
+    p = counts[counts > 0].astype(np.float64)
+    p /= p.sum()
+    return float(-np.sum(p * np.log(p)))
+
+
+def normalized_mutual_information(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """NMI with arithmetic-mean normalisation (1 = identical partitions)."""
+    table = confusion_matrix(y_true, y_pred).astype(np.float64)
+    n = table.sum()
+    if n == 0:
+        return 1.0
+    h_true = _entropy(table.sum(axis=1))
+    h_pred = _entropy(table.sum(axis=0))
+    if h_true == 0 and h_pred == 0:
+        return 1.0
+    joint = table / n
+    outer = np.outer(table.sum(axis=1) / n, table.sum(axis=0) / n)
+    nz = joint > 0
+    mi = float(np.sum(joint[nz] * np.log(joint[nz] / outer[nz])))
+    denom = 0.5 * (h_true + h_pred)
+    if denom == 0:
+        return 1.0
+    return float(mi / denom)
+
+
+def best_match_accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Accuracy after optimally matching predicted clusters to true classes.
+
+    Uses the Hungarian algorithm on the contingency table, so cluster ids
+    that are permutations of the true ids score 1.0.
+    """
+    from scipy.optimize import linear_sum_assignment
+
+    table = confusion_matrix(y_true, y_pred)
+    if table.size == 0:
+        return 1.0
+    rows, cols = linear_sum_assignment(-table)
+    matched = table[rows, cols].sum()
+    return float(matched / table.sum())
+
+
+def within_between_separation(
+    embedding: np.ndarray, labels: np.ndarray, *, sample: Optional[int] = None, seed: int = 0
+) -> float:
+    """Ratio of mean between-class distance to mean within-class distance.
+
+    Values well above 1 indicate the embedding separates the classes.  For
+    large graphs a random vertex sample bounds the quadratic pair cost.
+    """
+    Z = np.asarray(embedding, dtype=np.float64)
+    y = np.asarray(labels, dtype=np.int64)
+    if Z.shape[0] != y.shape[0]:
+        raise ValueError("embedding and labels must agree on the number of vertices")
+    idx = np.arange(Z.shape[0])
+    if sample is not None and sample < idx.size:
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(idx, size=sample, replace=False)
+    Zs, ys = Z[idx], y[idx]
+    dists = np.sqrt(
+        np.maximum(
+            np.sum(Zs**2, axis=1)[:, None] - 2 * Zs @ Zs.T + np.sum(Zs**2, axis=1)[None, :],
+            0.0,
+        )
+    )
+    same = ys[:, None] == ys[None, :]
+    off_diag = ~np.eye(len(idx), dtype=bool)
+    within = dists[same & off_diag]
+    between = dists[~same]
+    if within.size == 0 or between.size == 0:
+        return float("nan")
+    mean_within = float(within.mean())
+    if mean_within == 0:
+        return float("inf")
+    return float(between.mean() / mean_within)

@@ -1,0 +1,140 @@
+"""Report formatting: markdown tables, CSV and ASCII plots.
+
+The experiment drivers return plain data structures; this module turns them
+into the artefacts recorded in EXPERIMENTS.md — a markdown table per paper
+table, and an ASCII log–log plot per paper figure (matplotlib is not
+available offline, so figures are rendered as text).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["format_markdown_table", "format_csv", "ascii_line_plot", "format_float"]
+
+
+def format_float(value: float, digits: int = 4) -> str:
+    """Human-friendly number formatting for report cells."""
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "-"
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1000 or magnitude < 1e-3:
+        return f"{value:.{digits}g}"
+    return f"{value:.{digits}g}"
+
+
+def format_markdown_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    *,
+    float_digits: int = 4,
+) -> str:
+    """Render a list of dict rows as a GitHub-flavoured markdown table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    lines = ["| " + " | ".join(str(c) for c in columns) + " |"]
+    lines.append("|" + "|".join("---" for _ in columns) + "|")
+    for row in rows:
+        cells = []
+        for c in columns:
+            v = row.get(c, "")
+            if isinstance(v, float):
+                cells.append(format_float(v, float_digits))
+            else:
+                cells.append(str(v))
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def format_csv(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """Render rows as CSV text (no quoting of embedded commas by design —
+    the experiment outputs never contain commas)."""
+    rows = list(rows)
+    if not rows:
+        return ""
+    if columns is None:
+        columns = list(rows[0].keys())
+    lines = [",".join(str(c) for c in columns)]
+    for row in rows:
+        lines.append(",".join(str(row.get(c, "")) for c in columns))
+    return "\n".join(lines)
+
+
+def ascii_line_plot(
+    series: Dict[str, List[tuple]],
+    *,
+    width: int = 70,
+    height: int = 20,
+    logx: bool = False,
+    logy: bool = False,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Plot one or more (x, y) series as ASCII art.
+
+    ``series`` maps a label to a list of ``(x, y)`` points.  Each series is
+    drawn with its own marker character.  Intended for quick inspection of
+    the figure-shaped experiments in a terminal / text log.
+    """
+    markers = "ox+*#@%&"
+    points = [(x, y) for pts in series.values() for x, y in pts if y is not None]
+    if not points:
+        return "(no data)"
+
+    def tx(x: float) -> float:
+        return math.log10(x) if logx and x > 0 else float(x)
+
+    def ty(y: float) -> float:
+        return math.log10(y) if logy and y > 0 else float(y)
+
+    xs = [tx(x) for x, _ in points]
+    ys = [ty(y) for _, y in points]
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(ys), max(ys)
+    if xmax == xmin:
+        xmax = xmin + 1
+    if ymax == ymin:
+        ymax = ymin + 1
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (label, pts) in enumerate(series.items()):
+        marker = markers[si % len(markers)]
+        for x, y in pts:
+            if y is None:
+                continue
+            col = int(round((tx(x) - xmin) / (xmax - xmin) * (width - 1)))
+            row = int(round((ty(y) - ymin) / (ymax - ymin) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    axis_note = []
+    if xlabel:
+        axis_note.append(f"x: {xlabel}" + (" (log10)" if logx else ""))
+    if ylabel:
+        axis_note.append(f"y: {ylabel}" + (" (log10)" if logy else ""))
+    if axis_note:
+        lines.append("  ".join(axis_note))
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={label}" for i, label in enumerate(series.keys())
+    )
+    lines.append("legend: " + legend)
+    lines.append(
+        f"x range [{format_float(min(x for x,_ in points))}, {format_float(max(x for x,_ in points))}]  "
+        f"y range [{format_float(min(y for _,y in points))}, {format_float(max(y for _,y in points))}]"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Timing utilities for the experiment harness.
+
+Follows the optimisation-guide workflow: measure before comparing, repeat
+measurements and keep the minimum (least-noise estimate of the true cost),
+and keep the harness code out of the timed region.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional
+
+__all__ = ["Timer", "time_callable", "TimingRecord"]
+
+
+@dataclass
+class TimingRecord:
+    """Repeated-measurement record for one timed target."""
+
+    label: str
+    samples: List[float] = field(default_factory=list)
+
+    @property
+    def best(self) -> float:
+        """Minimum observed time (the conventional benchmark statistic)."""
+        return min(self.samples) if self.samples else float("nan")
+
+    @property
+    def mean(self) -> float:
+        """Mean observed time."""
+        return sum(self.samples) / len(self.samples) if self.samples else float("nan")
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.samples)
+
+
+class Timer:
+    """Accumulates named wall-clock measurements.
+
+    >>> timer = Timer()
+    >>> with timer.measure("edge_pass"):
+    ...     pass
+    >>> timer.records["edge_pass"].n_samples
+    1
+    """
+
+    def __init__(self) -> None:
+        self.records: Dict[str, TimingRecord] = {}
+
+    @contextmanager
+    def measure(self, label: str) -> Iterator[None]:
+        """Context manager timing one region under ``label``."""
+        record = self.records.setdefault(label, TimingRecord(label))
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            record.samples.append(time.perf_counter() - start)
+
+    def best(self, label: str) -> float:
+        """Best (minimum) time recorded for ``label``."""
+        return self.records[label].best
+
+
+def time_callable(
+    fn: Callable[[], object],
+    *,
+    repeats: int = 3,
+    warmup: int = 0,
+    disable_gc: bool = True,
+) -> TimingRecord:
+    """Time ``fn()`` ``repeats`` times and return the record.
+
+    ``warmup`` un-timed calls absorb one-off costs (imports, allocator
+    growth, forked-worker start-up) so they do not pollute the comparison.
+    """
+    if repeats <= 0:
+        raise ValueError("repeats must be positive")
+    record = TimingRecord(label=getattr(fn, "__name__", "callable"))
+    for _ in range(warmup):
+        fn()
+    was_enabled = gc.isenabled()
+    if disable_gc:
+        gc.disable()
+    try:
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            record.samples.append(time.perf_counter() - start)
+    finally:
+        if disable_gc and was_enabled:
+            gc.enable()
+    return record

@@ -1,0 +1,80 @@
+"""Graph substrate: edge lists, CSR adjacency, generators, IO and datasets."""
+
+from .builders import (
+    add_unit_weights,
+    deduplicate,
+    largest_connected_subgraph,
+    normalize_weights,
+    relabel_compact,
+    remove_self_loops,
+    subgraph,
+    symmetrize,
+)
+from .csr import CSRGraph
+from .datasets import (
+    DatasetSpec,
+    PAPER_GRAPHS,
+    available_datasets,
+    generate_labels,
+    load,
+    paper_table1_datasets,
+)
+from .edgelist import EdgeList
+from .generators import (
+    complete_graph,
+    configuration_power_law,
+    erdos_renyi,
+    path_graph,
+    planted_partition,
+    rmat,
+    star_graph,
+    stochastic_block_model,
+)
+from .io import load_npz, read_snap_edgelist, save_npz, write_snap_edgelist
+from .properties import (
+    GraphSummary,
+    connected_components,
+    degree_statistics,
+    density,
+    is_symmetric,
+    n_connected_components,
+    summarize,
+)
+
+__all__ = [
+    "EdgeList",
+    "CSRGraph",
+    "symmetrize",
+    "deduplicate",
+    "remove_self_loops",
+    "relabel_compact",
+    "subgraph",
+    "largest_connected_subgraph",
+    "add_unit_weights",
+    "normalize_weights",
+    "erdos_renyi",
+    "stochastic_block_model",
+    "planted_partition",
+    "rmat",
+    "configuration_power_law",
+    "star_graph",
+    "path_graph",
+    "complete_graph",
+    "read_snap_edgelist",
+    "write_snap_edgelist",
+    "save_npz",
+    "load_npz",
+    "degree_statistics",
+    "connected_components",
+    "n_connected_components",
+    "density",
+    "is_symmetric",
+    "GraphSummary",
+    "summarize",
+    "DatasetSpec",
+    "PAPER_GRAPHS",
+    "available_datasets",
+    "load",
+    "paper_table1_datasets",
+    "generate_labels",
+]

@@ -1,0 +1,159 @@
+"""Edge-list transformations used while preparing graphs for GEE.
+
+These are the preprocessing steps a user of the paper's pipeline performs
+before the timed embedding pass: symmetrising a directed edge list into the
+"two symmetric directed graphs" form, removing duplicate edges or self
+loops, compacting vertex ids, and extracting subgraphs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .edgelist import EdgeList
+
+__all__ = [
+    "symmetrize",
+    "deduplicate",
+    "remove_self_loops",
+    "relabel_compact",
+    "subgraph",
+    "largest_connected_subgraph",
+    "add_unit_weights",
+    "normalize_weights",
+]
+
+
+def symmetrize(edges: EdgeList, *, coalesce: bool = False) -> EdgeList:
+    """Return the undirected version of ``edges`` as two directed copies.
+
+    The paper (§II) treats an undirected graph as two symmetric directed
+    graphs; this helper produces exactly that representation.  With
+    ``coalesce=True`` reciprocal duplicates created by the union are merged
+    by summing their weights.
+    """
+    src = np.concatenate([edges.src, edges.dst])
+    dst = np.concatenate([edges.dst, edges.src])
+    w = np.concatenate([edges.effective_weights(), edges.effective_weights()])
+    out = EdgeList(src, dst, w, edges.n_vertices)
+    if coalesce:
+        out = deduplicate(out, combine="sum")
+    return out
+
+
+def deduplicate(edges: EdgeList, *, combine: str = "sum") -> EdgeList:
+    """Merge duplicate ``(src, dst)`` pairs.
+
+    Parameters
+    ----------
+    combine:
+        ``"sum"`` adds the weights of duplicates, ``"first"`` keeps the
+        weight of the first occurrence, ``"max"`` keeps the largest weight.
+    """
+    if combine not in ("sum", "first", "max"):
+        raise ValueError(f"unknown combine mode {combine!r}")
+    if edges.n_edges == 0:
+        return edges.copy()
+    n = edges.n_vertices
+    key = edges.src * n + edges.dst
+    w = edges.effective_weights()
+    if combine == "first":
+        _, keep = np.unique(key, return_index=True)
+        keep.sort()
+        return EdgeList(edges.src[keep], edges.dst[keep], w[keep], n)
+    uniq, inverse = np.unique(key, return_inverse=True)
+    if combine == "sum":
+        new_w = np.bincount(inverse, weights=w, minlength=uniq.size)
+    else:  # max
+        new_w = np.full(uniq.size, -np.inf)
+        np.maximum.at(new_w, inverse, w)
+    new_src = (uniq // n).astype(np.int64)
+    new_dst = (uniq % n).astype(np.int64)
+    return EdgeList(new_src, new_dst, new_w.astype(np.float64), n)
+
+
+def remove_self_loops(edges: EdgeList) -> EdgeList:
+    """Drop edges whose source and destination coincide."""
+    keep = edges.src != edges.dst
+    w = edges.weights[keep] if edges.weights is not None else None
+    return EdgeList(edges.src[keep], edges.dst[keep], w, edges.n_vertices)
+
+
+def relabel_compact(edges: EdgeList) -> Tuple[EdgeList, np.ndarray]:
+    """Renumber vertices so only endpoints of edges get ids ``0..m-1``.
+
+    Returns
+    -------
+    (new_edges, old_ids):
+        ``old_ids[new_id]`` gives the original vertex id.  Vertices that do
+        not appear in any edge are dropped.
+    """
+    if edges.n_edges == 0:
+        return EdgeList(np.empty(0, np.int64), np.empty(0, np.int64), None, 0), np.empty(
+            0, np.int64
+        )
+    old_ids = np.unique(np.concatenate([edges.src, edges.dst]))
+    new_src = np.searchsorted(old_ids, edges.src)
+    new_dst = np.searchsorted(old_ids, edges.dst)
+    return (
+        EdgeList(new_src, new_dst, edges.weights, old_ids.size),
+        old_ids.astype(np.int64),
+    )
+
+
+def subgraph(edges: EdgeList, vertices: np.ndarray, *, relabel: bool = True) -> Tuple[EdgeList, np.ndarray]:
+    """Extract the subgraph induced by ``vertices``.
+
+    Returns the induced edge list and the array mapping new ids back to
+    original ids (identity mapping if ``relabel=False``).
+    """
+    vertices = np.unique(np.asarray(vertices, dtype=np.int64))
+    mask = np.zeros(edges.n_vertices, dtype=bool)
+    mask[vertices] = True
+    keep = mask[edges.src] & mask[edges.dst]
+    w = edges.weights[keep] if edges.weights is not None else None
+    sub = EdgeList(edges.src[keep], edges.dst[keep], w, edges.n_vertices)
+    if not relabel:
+        return sub, np.arange(edges.n_vertices, dtype=np.int64)
+    mapping = -np.ones(edges.n_vertices, dtype=np.int64)
+    mapping[vertices] = np.arange(vertices.size)
+    new = EdgeList(mapping[sub.src], mapping[sub.dst], sub.weights, vertices.size)
+    return new, vertices
+
+
+def largest_connected_subgraph(edges: EdgeList) -> Tuple[EdgeList, np.ndarray]:
+    """Return the subgraph induced by the largest weakly connected component."""
+    from .properties import connected_components
+
+    labels = connected_components(edges)
+    if labels.size == 0:
+        return edges.copy(), np.empty(0, np.int64)
+    counts = np.bincount(labels)
+    biggest = int(np.argmax(counts))
+    vertices = np.flatnonzero(labels == biggest)
+    return subgraph(edges, vertices)
+
+
+def add_unit_weights(edges: EdgeList) -> EdgeList:
+    """Materialise an explicit unit-weight array."""
+    return EdgeList(edges.src, edges.dst, np.ones(edges.n_edges), edges.n_vertices)
+
+
+def normalize_weights(edges: EdgeList, *, mode: str = "max") -> EdgeList:
+    """Rescale edge weights.
+
+    ``mode="max"`` divides by the maximum weight, ``mode="sum"`` by the sum,
+    ``mode="mean"`` by the mean.  A graph with no edges or all-zero weights
+    is returned unchanged.
+    """
+    if mode not in ("max", "sum", "mean"):
+        raise ValueError(f"unknown normalisation mode {mode!r}")
+    w = edges.effective_weights().copy()
+    if w.size == 0:
+        return edges.copy()
+    denom = {"max": np.max(np.abs(w)), "sum": np.sum(np.abs(w)), "mean": np.mean(np.abs(w))}[mode]
+    if denom == 0:
+        return edges.copy()
+    return edges.with_weights(w / denom)

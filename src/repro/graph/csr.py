@@ -1,0 +1,202 @@
+"""Compressed sparse row (CSR) graph structure.
+
+Ligra stores graphs as per-vertex adjacency arrays so that ``edgeMapDense``
+can hand each vertex's edge list to one worker (paper §III).  This module
+provides the equivalent structure: ``indptr`` / ``indices`` / ``weights``
+arrays in the usual CSR layout, with both out-adjacency and (optionally)
+in-adjacency views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .edgelist import EdgeList
+
+__all__ = ["CSRGraph"]
+
+
+@dataclass
+class CSRGraph:
+    """Directed graph in CSR form.
+
+    Attributes
+    ----------
+    indptr:
+        ``(n+1,)`` int64 array; out-edges of vertex ``u`` occupy slots
+        ``indptr[u]:indptr[u+1]`` of ``indices`` / ``weights``.
+    indices:
+        ``(s,)`` int64 array of destination vertices.
+    weights:
+        ``(s,)`` float64 array of edge weights (unit weights if the source
+        edge list was unweighted).
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    weights: np.ndarray
+    _in_indptr: Optional[np.ndarray] = None
+    _in_indices: Optional[np.ndarray] = None
+    _in_weights: Optional[np.ndarray] = None
+    _in_edge_pos: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.indptr = np.ascontiguousarray(np.asarray(self.indptr, dtype=np.int64))
+        self.indices = np.ascontiguousarray(np.asarray(self.indices, dtype=np.int64))
+        self.weights = np.ascontiguousarray(np.asarray(self.weights, dtype=np.float64))
+        if self.indptr.ndim != 1 or self.indptr.size == 0:
+            raise ValueError("indptr must be a 1-D array of length n+1")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
+            raise ValueError("indptr must start at 0 and end at the number of edges")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if self.weights.size != self.indices.size:
+            raise ValueError("weights and indices must have the same length")
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_edgelist(cls, edges: EdgeList) -> "CSRGraph":
+        """Build a CSR graph from an :class:`EdgeList` (stable edge order
+        within each vertex's adjacency list)."""
+        n = edges.n_vertices
+        w = edges.effective_weights()
+        order = np.argsort(edges.src, kind="stable")
+        src_sorted = edges.src[order]
+        indices = edges.dst[order]
+        weights = w[order]
+        counts = np.bincount(src_sorted, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr=indptr, indices=indices, weights=weights)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        src: np.ndarray,
+        dst: np.ndarray,
+        weights: Optional[np.ndarray] = None,
+        n_vertices: Optional[int] = None,
+    ) -> "CSRGraph":
+        """Convenience constructor from raw src/dst/weight arrays."""
+        return cls.from_edgelist(EdgeList(src, dst, weights, n_vertices))
+
+    # ------------------------------------------------------------------ #
+    # Basic protocol
+    # ------------------------------------------------------------------ #
+    @property
+    def n_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return int(self.indptr.size - 1)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of directed edges ``s``."""
+        return int(self.indices.size)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CSRGraph(n={self.n_vertices}, s={self.n_edges})"
+
+    # ------------------------------------------------------------------ #
+    # Adjacency access
+    # ------------------------------------------------------------------ #
+    def out_degree(self, u: int) -> int:
+        """Out-degree of vertex ``u``."""
+        return int(self.indptr[u + 1] - self.indptr[u])
+
+    def out_degrees(self) -> np.ndarray:
+        """Out-degrees of all vertices."""
+        return np.diff(self.indptr)
+
+    def neighbors(self, u: int) -> np.ndarray:
+        """Destinations of out-edges of ``u`` (a view, do not mutate)."""
+        return self.indices[self.indptr[u] : self.indptr[u + 1]]
+
+    def neighbor_weights(self, u: int) -> np.ndarray:
+        """Weights of out-edges of ``u`` (a view, do not mutate)."""
+        return self.weights[self.indptr[u] : self.indptr[u + 1]]
+
+    def edge_slice(self, u: int) -> Tuple[int, int]:
+        """Half-open slice ``(lo, hi)`` of vertex ``u``'s out-edges."""
+        return int(self.indptr[u]), int(self.indptr[u + 1])
+
+    def edge_sources(self) -> np.ndarray:
+        """Expand ``indptr`` back to a per-edge source array."""
+        return np.repeat(np.arange(self.n_vertices, dtype=np.int64), self.out_degrees())
+
+    # ------------------------------------------------------------------ #
+    # In-adjacency (transpose), built lazily
+    # ------------------------------------------------------------------ #
+    def _build_in_adjacency(self) -> None:
+        src = self.edge_sources()
+        dst = self.indices
+        order = np.argsort(dst, kind="stable")
+        counts = np.bincount(dst, minlength=self.n_vertices)
+        indptr = np.zeros(self.n_vertices + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        self._in_indptr = indptr
+        self._in_indices = src[order]
+        self._in_weights = self.weights[order]
+        self._in_edge_pos = order.astype(np.int64)
+
+    @property
+    def in_indptr(self) -> np.ndarray:
+        """CSR indptr of the transposed (in-edge) adjacency."""
+        if self._in_indptr is None:
+            self._build_in_adjacency()
+        return self._in_indptr  # type: ignore[return-value]
+
+    @property
+    def in_indices(self) -> np.ndarray:
+        """CSR indices (edge sources) of the transposed adjacency."""
+        if self._in_indices is None:
+            self._build_in_adjacency()
+        return self._in_indices  # type: ignore[return-value]
+
+    @property
+    def in_weights(self) -> np.ndarray:
+        """Weights aligned with :attr:`in_indices`."""
+        if self._in_weights is None:
+            self._build_in_adjacency()
+        return self._in_weights  # type: ignore[return-value]
+
+    def in_degrees(self) -> np.ndarray:
+        """In-degrees of all vertices."""
+        return np.diff(self.in_indptr)
+
+    def in_neighbors(self, v: int) -> np.ndarray:
+        """Sources of in-edges of ``v``."""
+        return self.in_indices[self.in_indptr[v] : self.in_indptr[v + 1]]
+
+    # ------------------------------------------------------------------ #
+    # Conversions
+    # ------------------------------------------------------------------ #
+    def to_edgelist(self) -> EdgeList:
+        """Convert back to an :class:`EdgeList` (grouped by source vertex)."""
+        return EdgeList(
+            src=self.edge_sources(),
+            dst=self.indices.copy(),
+            weights=self.weights.copy(),
+            n_vertices=self.n_vertices,
+        )
+
+    def to_scipy(self):
+        """Return the adjacency matrix as a ``scipy.sparse.csr_matrix``."""
+        import scipy.sparse as sp
+
+        return sp.csr_matrix(
+            (self.weights, self.indices, self.indptr),
+            shape=(self.n_vertices, self.n_vertices),
+        )
+
+    def transpose(self) -> "CSRGraph":
+        """Return a new CSR graph with every edge reversed."""
+        return CSRGraph(
+            indptr=self.in_indptr.copy(),
+            indices=self.in_indices.copy(),
+            weights=self.in_weights.copy(),
+        )

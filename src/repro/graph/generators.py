@@ -1,0 +1,300 @@
+"""Synthetic graph generators.
+
+The paper evaluates on SNAP social graphs and on Erdős–Rényi graphs of
+increasing size (Figure 4).  This module provides:
+
+* :func:`erdos_renyi` — G(n, s) random multigraphs sampled by edge count,
+  exactly what Figure 4 sweeps over powers-of-two edge counts.
+* :func:`stochastic_block_model` — SBM graphs with planted communities; used
+  to validate GEE's statistical behaviour (the original GEE paper's setting).
+* :func:`rmat` — R-MAT / Kronecker-style skewed-degree graphs, the standard
+  stand-in for social networks such as Pokec, LiveJournal, Orkut and
+  Friendster.
+* :func:`configuration_power_law` — degree-sequence graphs with a power-law
+  tail, an alternative social-network stand-in.
+
+All generators take an explicit ``seed`` (or :class:`numpy.random.Generator`)
+and never touch global RNG state.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .builders import deduplicate, remove_self_loops, symmetrize
+from .edgelist import EdgeList
+
+__all__ = [
+    "erdos_renyi",
+    "stochastic_block_model",
+    "rmat",
+    "configuration_power_law",
+    "planted_partition",
+    "star_graph",
+    "path_graph",
+    "complete_graph",
+]
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def _rng(seed: SeedLike) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def erdos_renyi(
+    n_vertices: int,
+    n_edges: int,
+    *,
+    weighted: bool = False,
+    undirected: bool = False,
+    seed: SeedLike = None,
+) -> EdgeList:
+    """Sample an Erdős–Rényi style random graph with a fixed edge count.
+
+    Edges are sampled uniformly with replacement (a sparse multigraph), the
+    same G(n, s)-by-edge-count convention used by the paper's Figure 4 sweep
+    where the independent variable is ``log2(edges)``.
+
+    Parameters
+    ----------
+    n_vertices, n_edges:
+        Graph dimensions.  When ``undirected=True`` the returned edge list
+        contains ``2 * n_edges`` directed edges (both directions).
+    weighted:
+        If true, attach uniform(0.5, 1.5) weights.
+    """
+    if n_vertices <= 0:
+        raise ValueError("n_vertices must be positive")
+    if n_edges < 0:
+        raise ValueError("n_edges must be non-negative")
+    rng = _rng(seed)
+    src = rng.integers(0, n_vertices, size=n_edges, dtype=np.int64)
+    dst = rng.integers(0, n_vertices, size=n_edges, dtype=np.int64)
+    weights = rng.uniform(0.5, 1.5, size=n_edges) if weighted else None
+    edges = EdgeList(src, dst, weights, n_vertices)
+    if undirected:
+        edges = symmetrize(edges)
+    return edges
+
+
+def stochastic_block_model(
+    block_sizes: Sequence[int],
+    block_matrix: np.ndarray,
+    *,
+    seed: SeedLike = None,
+    directed: bool = False,
+    self_loops: bool = False,
+) -> Tuple[EdgeList, np.ndarray]:
+    """Sample a stochastic block model graph.
+
+    Parameters
+    ----------
+    block_sizes:
+        Number of vertices in each block; ``K = len(block_sizes)``.
+    block_matrix:
+        ``(K, K)`` matrix of edge probabilities between blocks.
+    directed:
+        If false (default), only the upper triangle of each block pair is
+        sampled and the edge list is symmetrised.
+
+    Returns
+    -------
+    (edges, labels):
+        The sampled edge list and the ground-truth block label of each
+        vertex (values ``0..K-1``).
+    """
+    block_sizes = [int(b) for b in block_sizes]
+    if any(b <= 0 for b in block_sizes):
+        raise ValueError("block sizes must be positive")
+    B = np.asarray(block_matrix, dtype=np.float64)
+    K = len(block_sizes)
+    if B.shape != (K, K):
+        raise ValueError(f"block_matrix must be ({K}, {K}), got {B.shape}")
+    if np.any(B < 0) or np.any(B > 1):
+        raise ValueError("block probabilities must lie in [0, 1]")
+    rng = _rng(seed)
+    n = sum(block_sizes)
+    labels = np.repeat(np.arange(K, dtype=np.int64), block_sizes)
+    offsets = np.concatenate([[0], np.cumsum(block_sizes)])
+
+    srcs = []
+    dsts = []
+    for a in range(K):
+        for b in range(K):
+            if not directed and b < a:
+                continue
+            na, nb = block_sizes[a], block_sizes[b]
+            p = B[a, b]
+            if p <= 0:
+                continue
+            # Sample the number of edges binomially, then place them
+            # uniformly; this is O(expected edges) instead of O(na*nb).
+            if a == b and not directed:
+                n_pairs = na * (na - 1) // 2 + (na if self_loops else 0)
+            else:
+                n_pairs = na * nb
+            m = rng.binomial(n_pairs, p)
+            if m == 0:
+                continue
+            u = rng.integers(0, na, size=m, dtype=np.int64) + offsets[a]
+            v = rng.integers(0, nb, size=m, dtype=np.int64) + offsets[b]
+            srcs.append(u)
+            dsts.append(v)
+    if srcs:
+        src = np.concatenate(srcs)
+        dst = np.concatenate(dsts)
+    else:
+        src = np.empty(0, dtype=np.int64)
+        dst = np.empty(0, dtype=np.int64)
+    edges = EdgeList(src, dst, None, n)
+    if not self_loops:
+        edges = remove_self_loops(edges)
+    edges = deduplicate(edges, combine="first")
+    if not directed:
+        edges = symmetrize(edges)
+        edges = deduplicate(edges, combine="first")
+    return edges, labels
+
+
+def planted_partition(
+    n_vertices: int,
+    n_blocks: int,
+    p_in: float,
+    p_out: float,
+    *,
+    seed: SeedLike = None,
+) -> Tuple[EdgeList, np.ndarray]:
+    """Equal-sized-block SBM with within-probability ``p_in`` and
+    between-probability ``p_out`` (the classic planted-partition model)."""
+    if n_blocks <= 0 or n_vertices < n_blocks:
+        raise ValueError("need at least one vertex per block")
+    sizes = [n_vertices // n_blocks] * n_blocks
+    for i in range(n_vertices % n_blocks):
+        sizes[i] += 1
+    B = np.full((n_blocks, n_blocks), p_out, dtype=np.float64)
+    np.fill_diagonal(B, p_in)
+    return stochastic_block_model(sizes, B, seed=seed)
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 16,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: SeedLike = None,
+    undirected: bool = False,
+    weighted: bool = False,
+) -> EdgeList:
+    """Generate an R-MAT (recursive matrix / Kronecker) graph.
+
+    ``n = 2**scale`` vertices and ``edge_factor * n`` directed edges with the
+    Graph500 default partition probabilities.  R-MAT graphs have the heavy,
+    skewed degree distributions of social networks, which is what makes them
+    suitable stand-ins for the paper's SNAP graphs.
+    """
+    if scale <= 0 or scale > 30:
+        raise ValueError("scale must be in 1..30")
+    d = 1.0 - a - b - c
+    if d < 0 or min(a, b, c) < 0:
+        raise ValueError("partition probabilities must be non-negative and sum to <= 1")
+    rng = _rng(seed)
+    n = 1 << scale
+    m = int(edge_factor * n)
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    # Vectorised recursive descent: at each of `scale` levels pick a quadrant
+    # for every edge at once.
+    ab = a + b
+    abc = a + b + c
+    for _ in range(scale):
+        r = rng.random(m)
+        right = (r >= a) & (r < ab) | (r >= abc)  # quadrants b and d set a dst bit
+        lower = r >= ab  # quadrants c and d set a src bit
+        src = (src << 1) | lower.astype(np.int64)
+        dst = (dst << 1) | right.astype(np.int64)
+    # Permute vertex ids so degree is not correlated with id.
+    perm = rng.permutation(n).astype(np.int64)
+    src = perm[src]
+    dst = perm[dst]
+    weights = rng.uniform(0.5, 1.5, size=m) if weighted else None
+    edges = EdgeList(src, dst, weights, n)
+    if undirected:
+        edges = symmetrize(edges)
+    return edges
+
+
+def configuration_power_law(
+    n_vertices: int,
+    *,
+    exponent: float = 2.5,
+    min_degree: int = 1,
+    max_degree: Optional[int] = None,
+    seed: SeedLike = None,
+) -> EdgeList:
+    """Directed configuration-model graph with power-law out-degrees.
+
+    Each vertex draws an out-degree from a discrete power law with the given
+    exponent, then its out-neighbours are chosen uniformly at random.  This
+    produces the hub-dominated structure typical of follower networks.
+    """
+    if exponent <= 1.0:
+        raise ValueError("exponent must be > 1")
+    if min_degree < 0:
+        raise ValueError("min_degree must be non-negative")
+    rng = _rng(seed)
+    if max_degree is None:
+        max_degree = max(min_degree + 1, int(np.sqrt(n_vertices)))
+    degrees_support = np.arange(min_degree, max_degree + 1, dtype=np.float64)
+    if degrees_support.size == 0:
+        raise ValueError("empty degree support; check min/max degree")
+    probs = degrees_support.clip(min=1) ** (-exponent)
+    probs /= probs.sum()
+    out_deg = rng.choice(
+        degrees_support.astype(np.int64), size=n_vertices, p=probs
+    )
+    src = np.repeat(np.arange(n_vertices, dtype=np.int64), out_deg)
+    dst = rng.integers(0, n_vertices, size=src.size, dtype=np.int64)
+    return EdgeList(src, dst, None, n_vertices)
+
+
+def star_graph(n_leaves: int) -> EdgeList:
+    """Star: vertex 0 connected to every leaf, both directions."""
+    if n_leaves < 0:
+        raise ValueError("n_leaves must be non-negative")
+    leaves = np.arange(1, n_leaves + 1, dtype=np.int64)
+    hub = np.zeros(n_leaves, dtype=np.int64)
+    return EdgeList(
+        np.concatenate([hub, leaves]),
+        np.concatenate([leaves, hub]),
+        None,
+        n_leaves + 1,
+    )
+
+
+def path_graph(n_vertices: int) -> EdgeList:
+    """Undirected path 0-1-2-...-(n-1) stored as two directed edges each."""
+    if n_vertices <= 0:
+        raise ValueError("n_vertices must be positive")
+    a = np.arange(n_vertices - 1, dtype=np.int64)
+    b = a + 1
+    return EdgeList(
+        np.concatenate([a, b]), np.concatenate([b, a]), None, n_vertices
+    )
+
+
+def complete_graph(n_vertices: int) -> EdgeList:
+    """Complete directed graph without self loops."""
+    if n_vertices <= 0:
+        raise ValueError("n_vertices must be positive")
+    src, dst = np.meshgrid(
+        np.arange(n_vertices, dtype=np.int64), np.arange(n_vertices, dtype=np.int64), indexing="ij"
+    )
+    mask = src != dst
+    return EdgeList(src[mask], dst[mask], None, n_vertices)

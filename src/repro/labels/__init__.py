@@ -1,0 +1,19 @@
+"""Label sources for GEE: generators, propagation, community detection, k-means."""
+
+from .generators import balanced_partial_labels, mask_labels, random_partial_labels
+from .kmeans import KMeansResult, kmeans, kmeans_plusplus_init
+from .leiden import CommunityResult, leiden_communities, modularity
+from .propagation import propagate_labels
+
+__all__ = [
+    "random_partial_labels",
+    "mask_labels",
+    "balanced_partial_labels",
+    "kmeans",
+    "kmeans_plusplus_init",
+    "KMeansResult",
+    "leiden_communities",
+    "modularity",
+    "CommunityResult",
+    "propagate_labels",
+]

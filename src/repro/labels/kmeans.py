@@ -1,0 +1,140 @@
+"""Lloyd's k-means with k-means++ seeding.
+
+Used by the unsupervised GEE refinement loop (embed → cluster → re-embed),
+which is how the original GEE paper derives labels when none are given, and
+by the community-detection example.  Implemented here (rather than pulling
+in scikit-learn) so the repository is self-contained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = ["KMeansResult", "kmeans", "kmeans_plusplus_init"]
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def _rng(seed: SeedLike) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+@dataclass
+class KMeansResult:
+    """Clustering output: assignments, centroids, inertia and iterations."""
+
+    labels: np.ndarray
+    centroids: np.ndarray
+    inertia: float
+    n_iterations: int
+    converged: bool
+
+
+def kmeans_plusplus_init(
+    X: np.ndarray, n_clusters: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids by D² sampling."""
+    n = X.shape[0]
+    centroids = np.empty((n_clusters, X.shape[1]), dtype=np.float64)
+    first = int(rng.integers(0, n))
+    centroids[0] = X[first]
+    closest_sq = np.sum((X - centroids[0]) ** 2, axis=1)
+    for c in range(1, n_clusters):
+        total = closest_sq.sum()
+        if total <= 0:
+            # All points coincide with existing centroids; pick uniformly.
+            idx = int(rng.integers(0, n))
+        else:
+            probs = closest_sq / total
+            idx = int(rng.choice(n, p=probs))
+        centroids[c] = X[idx]
+        dist_sq = np.sum((X - centroids[c]) ** 2, axis=1)
+        closest_sq = np.minimum(closest_sq, dist_sq)
+    return centroids
+
+
+def kmeans(
+    X: np.ndarray,
+    n_clusters: int,
+    *,
+    max_iterations: int = 100,
+    tolerance: float = 1e-7,
+    seed: SeedLike = None,
+    init: Optional[np.ndarray] = None,
+) -> KMeansResult:
+    """Cluster the rows of ``X`` into ``n_clusters`` groups.
+
+    Empty clusters are re-seeded with the point farthest from its centroid,
+    so the result always uses exactly ``n_clusters`` labels when
+    ``n_clusters <= n_points``.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValueError("X must be a 2-D array of points")
+    n = X.shape[0]
+    if n_clusters <= 0:
+        raise ValueError("n_clusters must be positive")
+    if n == 0:
+        return KMeansResult(
+            labels=np.empty(0, dtype=np.int64),
+            centroids=np.zeros((n_clusters, X.shape[1])),
+            inertia=0.0,
+            n_iterations=0,
+            converged=True,
+        )
+    n_clusters = min(n_clusters, n)
+    rng = _rng(seed)
+    centroids = (
+        np.array(init, dtype=np.float64, copy=True)
+        if init is not None
+        else kmeans_plusplus_init(X, n_clusters, rng)
+    )
+    if centroids.shape != (n_clusters, X.shape[1]):
+        raise ValueError("init centroids have the wrong shape")
+
+    labels = np.zeros(n, dtype=np.int64)
+    prev_inertia = np.inf
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        # Assignment step: squared distances via the expansion ||x-c||² =
+        # ||x||² - 2 x·c + ||c||² (the ||x||² term is constant per point).
+        cross = X @ centroids.T
+        c_norm = np.sum(centroids**2, axis=1)
+        dist = c_norm[None, :] - 2.0 * cross
+        labels = np.argmin(dist, axis=1).astype(np.int64)
+        x_norm = np.sum(X**2, axis=1)
+        inertia = float(np.sum(x_norm + dist[np.arange(n), labels]))
+
+        # Update step.
+        counts = np.bincount(labels, minlength=n_clusters)
+        new_centroids = np.zeros_like(centroids)
+        for d in range(X.shape[1]):
+            new_centroids[:, d] = np.bincount(labels, weights=X[:, d], minlength=n_clusters)
+        nonempty = counts > 0
+        new_centroids[nonempty] /= counts[nonempty, None]
+        # Re-seed empty clusters with the worst-fit points.
+        if np.any(~nonempty):
+            residual = x_norm + dist[np.arange(n), labels]
+            worst = np.argsort(residual)[::-1]
+            for j, k_empty in enumerate(np.flatnonzero(~nonempty)):
+                new_centroids[k_empty] = X[worst[j % n]]
+        shift = float(np.sum((new_centroids - centroids) ** 2))
+        centroids = new_centroids
+        if abs(prev_inertia - inertia) <= tolerance * max(1.0, abs(prev_inertia)) and shift <= tolerance:
+            converged = True
+            break
+        prev_inertia = inertia
+
+    return KMeansResult(
+        labels=labels,
+        centroids=centroids,
+        inertia=float(prev_inertia if np.isfinite(prev_inertia) else 0.0),
+        n_iterations=iteration,
+        converged=converged,
+    )

@@ -1,0 +1,41 @@
+"""A Ligra-like shared-memory graph processing engine in Python.
+
+Implements the ``edgeMap`` / ``vertexMap`` / ``vertexSubset`` programming
+interface of Shun & Blelloch's Ligra (the substrate of the paper's
+GEE-Ligra), with pluggable execution backends.
+"""
+
+from .atomics import AtomicArray, UnsafeArray, make_accumulator
+from .backends import (
+    AccumulatingEdgeMapFunction,
+    DenseBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    VectorizedBackend,
+    make_backend,
+)
+from .edge_map import EdgeMapFunction, edge_map_dense_serial, edge_map_sparse
+from .engine import LigraEngine
+from .vertex_map import VertexMapFunction, vertex_map
+from .vertex_subset import VertexSubset
+
+__all__ = [
+    "AtomicArray",
+    "UnsafeArray",
+    "make_accumulator",
+    "EdgeMapFunction",
+    "AccumulatingEdgeMapFunction",
+    "edge_map_sparse",
+    "edge_map_dense_serial",
+    "VertexMapFunction",
+    "vertex_map",
+    "VertexSubset",
+    "LigraEngine",
+    "DenseBackend",
+    "SerialBackend",
+    "VectorizedBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "make_backend",
+]

@@ -1,0 +1,23 @@
+"""Classic graph algorithms implemented on the Ligra-like engine.
+
+These serve two purposes: they validate that the engine faithfully
+implements the frontier programming model (tests compare them against
+independent oracles), and they demonstrate that the engine is a general
+substrate rather than a GEE-only shim.
+"""
+
+from .bfs import bfs, bfs_reference
+from .connected_components import connected_components_ligra
+from .kcore import kcore_decomposition
+from .pagerank import pagerank, pagerank_reference
+from .triangle_count import count_triangles
+
+__all__ = [
+    "bfs",
+    "bfs_reference",
+    "pagerank",
+    "pagerank_reference",
+    "connected_components_ligra",
+    "kcore_decomposition",
+    "count_triangles",
+]

@@ -1,0 +1,92 @@
+"""Breadth-first search expressed in the Ligra model.
+
+BFS is the canonical frontier algorithm (paper §II cites it as the
+motivating example for Ligra's sparse/dense switching).  It is included as
+a validation workload for the engine: its output is checked against an
+independent queue-based BFS in the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..edge_map import EdgeMapFunction
+from ..engine import LigraEngine
+from ..vertex_subset import VertexSubset
+
+__all__ = ["bfs", "bfs_reference"]
+
+
+class _BFSVisit(EdgeMapFunction):
+    """Claim unvisited destinations and record their parent / level."""
+
+    def __init__(self, parents: np.ndarray) -> None:
+        self.parents = parents
+
+    def update(self, u: int, v: int, w: float) -> bool:
+        if self.parents[v] == -1:
+            self.parents[v] = u
+            return True
+        return False
+
+    def update_atomic(self, u: int, v: int, w: float) -> bool:
+        # CAS-style claim: only the first writer wins.
+        if self.parents[v] == -1:
+            self.parents[v] = u
+            return True
+        return False
+
+    def cond(self, v: int) -> bool:
+        return self.parents[v] == -1
+
+    def update_block(self, u: int, dsts: np.ndarray, weights: np.ndarray):
+        unvisited = self.parents[dsts] == -1
+        claim = dsts[unvisited]
+        if claim.size:
+            self.parents[claim] = u
+        return unvisited
+
+
+def bfs(engine: LigraEngine, source: int) -> tuple[np.ndarray, np.ndarray]:
+    """Breadth-first search from ``source``.
+
+    Returns
+    -------
+    (parents, levels):
+        ``parents[v]`` is the BFS tree parent of ``v`` (``source`` for the
+        root, ``-1`` for unreachable vertices); ``levels[v]`` is the hop
+        distance (``-1`` if unreachable).
+    """
+    n = engine.n_vertices
+    if not 0 <= source < n:
+        raise ValueError(f"source {source} out of range for {n} vertices")
+    parents = np.full(n, -1, dtype=np.int64)
+    levels = np.full(n, -1, dtype=np.int64)
+    parents[source] = source
+    levels[source] = 0
+    frontier = VertexSubset.single(n, source)
+    fn = _BFSVisit(parents)
+    level = 0
+    while len(frontier) > 0:
+        level += 1
+        frontier = engine.edge_map(frontier, fn)
+        if len(frontier):
+            levels[frontier.indices()] = level
+    return parents, levels
+
+
+def bfs_reference(indptr: np.ndarray, indices: np.ndarray, source: int) -> np.ndarray:
+    """Plain queue-based BFS levels, used as the test oracle."""
+    n = indptr.size - 1
+    levels = np.full(n, -1, dtype=np.int64)
+    levels[source] = 0
+    queue = [source]
+    while queue:
+        nxt = []
+        for u in queue:
+            for v in indices[indptr[u] : indptr[u + 1]].tolist():
+                if levels[v] == -1:
+                    levels[v] = levels[u] + 1
+                    nxt.append(v)
+        queue = nxt
+    return levels

@@ -1,0 +1,25 @@
+"""Serial dense backend: the reference execution, one edge list at a time."""
+
+from __future__ import annotations
+
+from ...graph.csr import CSRGraph
+from ..edge_map import EdgeMapFunction, edge_map_dense_serial
+from ..vertex_subset import VertexSubset
+from .base import DenseBackend
+
+__all__ = ["SerialBackend"]
+
+
+class SerialBackend(DenseBackend):
+    """Walk every vertex's out-edge list sequentially in the calling thread.
+
+    This is the "GEE-Ligra Serial" configuration of the paper's Table I: the
+    same edge-map program as the parallel run, scheduled on one worker.
+    """
+
+    name = "serial"
+
+    def dense_edge_map(
+        self, graph: CSRGraph, frontier: VertexSubset, fn: EdgeMapFunction
+    ) -> VertexSubset:
+        return edge_map_dense_serial(graph, frontier, fn)

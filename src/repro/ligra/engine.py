@@ -1,0 +1,148 @@
+"""The Ligra-style engine: frontier-driven graph traversal.
+
+:class:`LigraEngine` ties together the pieces of the programming model the
+paper builds on (§II):
+
+* a graph in CSR form,
+* ``edge_map`` — apply a function over the out-edges of a frontier,
+  automatically choosing the sparse or dense traversal (Ligra's
+  ``|U| + sum_deg(U) > m/20`` rule) unless a mode is forced,
+* ``vertex_map`` — apply a function over the vertices of a frontier,
+* a pluggable execution backend for the dense traversal (serial /
+  vectorized / threads / processes).
+
+GEE-Ligra (Algorithm 2) is one client of this engine; the classic graph
+algorithms in :mod:`repro.ligra.algorithms` are others and serve as
+validation that the engine implements the model faithfully.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..graph.csr import CSRGraph
+from ..graph.edgelist import EdgeList
+from .backends import DenseBackend, make_backend
+from .edge_map import EdgeMapFunction, edge_map_sparse
+from .vertex_map import VertexFn, vertex_map as _vertex_map
+from .vertex_subset import VertexSubset
+
+__all__ = ["LigraEngine"]
+
+
+class LigraEngine:
+    """Frontier-based graph processing engine.
+
+    Parameters
+    ----------
+    graph:
+        The graph, as a :class:`CSRGraph` or an :class:`EdgeList` (which is
+        converted once at construction).
+    backend:
+        Dense-traversal execution backend: a backend instance or one of the
+        names ``"serial"``, ``"vectorized"``, ``"threads"``, ``"processes"``.
+    n_workers:
+        Worker count for the thread/process backends (ignored otherwise).
+    dense_threshold:
+        Fraction of ``m`` used in the dense/sparse switch; Ligra uses 1/20.
+    """
+
+    def __init__(
+        self,
+        graph: Union[CSRGraph, EdgeList],
+        *,
+        backend: Union[str, DenseBackend] = "serial",
+        n_workers: Optional[int] = None,
+        dense_threshold: float = 1 / 20,
+    ) -> None:
+        if isinstance(graph, EdgeList):
+            graph = graph.to_csr()
+        if not isinstance(graph, CSRGraph):
+            raise TypeError(f"graph must be CSRGraph or EdgeList, got {type(graph)!r}")
+        self.graph = graph
+        if isinstance(backend, str):
+            backend = make_backend(backend, n_workers)
+        self.backend = backend
+        if not 0 < dense_threshold <= 1:
+            raise ValueError("dense_threshold must be in (0, 1]")
+        self.dense_threshold = dense_threshold
+
+    # ------------------------------------------------------------------ #
+    # Frontier constructors
+    # ------------------------------------------------------------------ #
+    @property
+    def n_vertices(self) -> int:
+        """Number of vertices of the underlying graph."""
+        return self.graph.n_vertices
+
+    @property
+    def n_edges(self) -> int:
+        """Number of directed edges of the underlying graph."""
+        return self.graph.n_edges
+
+    def full_frontier(self) -> VertexSubset:
+        """All vertices active (the GEE-Ligra frontier)."""
+        return VertexSubset.full(self.n_vertices)
+
+    def empty_frontier(self) -> VertexSubset:
+        """No vertices active."""
+        return VertexSubset.empty(self.n_vertices)
+
+    def frontier(self, vertices) -> VertexSubset:
+        """Frontier from an iterable / array of vertex ids."""
+        return VertexSubset.from_iterable(self.n_vertices, vertices)
+
+    # ------------------------------------------------------------------ #
+    # Primitives
+    # ------------------------------------------------------------------ #
+    def edge_map(
+        self,
+        frontier: VertexSubset,
+        fn: EdgeMapFunction,
+        *,
+        mode: str = "auto",
+    ) -> VertexSubset:
+        """Apply ``fn`` over the out-edges of ``frontier``.
+
+        ``mode`` is ``"auto"`` (Ligra's size-based switch), ``"dense"`` or
+        ``"sparse"``.  The sparse traversal is always executed serially (it
+        is used for small frontiers where parallel dispatch would dominate);
+        the dense traversal goes through the configured backend.
+        """
+        if frontier.n_vertices != self.n_vertices:
+            raise ValueError("frontier does not match the engine's graph")
+        if mode not in ("auto", "dense", "sparse"):
+            raise ValueError(f"unknown edge_map mode {mode!r}")
+        if mode == "auto":
+            dense = frontier.is_dense_preferred(
+                self.graph.indptr, self.n_edges, self.dense_threshold
+            )
+            mode = "dense" if dense else "sparse"
+        if mode == "sparse":
+            return edge_map_sparse(self.graph, frontier, fn)
+        return self.backend.dense_edge_map(self.graph, frontier, fn)
+
+    def vertex_map(self, frontier: VertexSubset, fn: VertexFn) -> VertexSubset:
+        """Apply ``fn`` over the vertices of ``frontier``."""
+        if frontier.n_vertices != self.n_vertices:
+            raise ValueError("frontier does not match the engine's graph")
+        return _vertex_map(frontier, fn)
+
+    # ------------------------------------------------------------------ #
+    # Lifetime
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release backend resources."""
+        self.backend.close()
+
+    def __enter__(self) -> "LigraEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LigraEngine(n={self.n_vertices}, s={self.n_edges}, "
+            f"backend={self.backend.name!r})"
+        )

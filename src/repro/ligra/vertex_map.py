@@ -1,0 +1,62 @@
+"""The ``vertexMap`` primitive.
+
+``vertexMap(U, F)`` applies ``F`` to every vertex in the subset ``U`` and
+returns the subset of vertices for which ``F`` returned True.  GEE-Ligra
+uses it (in spirit) for the parallel initialisation of the projection
+matrix ``W`` (Algorithm 2, lines 3–6); the graph algorithms in
+:mod:`repro.ligra.algorithms` use it for per-vertex state updates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from .vertex_subset import VertexSubset
+
+__all__ = ["VertexMapFunction", "vertex_map"]
+
+VertexFn = Union["VertexMapFunction", Callable[[int], bool]]
+
+
+class VertexMapFunction:
+    """Function object applied per vertex; subclass or wrap a callable."""
+
+    def apply(self, v: int) -> bool:
+        """Apply to vertex ``v``; return True to keep it in the output subset."""
+        raise NotImplementedError
+
+    def apply_batch(self, vertices: np.ndarray) -> Optional[np.ndarray]:
+        """Vectorised hook: return a keep-mask aligned with ``vertices`` or
+        ``None`` to fall back to per-vertex calls."""
+        return None
+
+
+class _CallableWrapper(VertexMapFunction):
+    def __init__(self, fn: Callable[[int], bool]) -> None:
+        self._fn = fn
+
+    def apply(self, v: int) -> bool:
+        return bool(self._fn(v))
+
+
+def vertex_map(frontier: VertexSubset, fn: VertexFn) -> VertexSubset:
+    """Apply ``fn`` to every vertex in ``frontier``.
+
+    ``fn`` may be a :class:`VertexMapFunction` or a plain callable
+    ``vertex_id -> bool``.
+    """
+    if not isinstance(fn, VertexMapFunction):
+        fn = _CallableWrapper(fn)
+    vertices = frontier.indices()
+    if vertices.size == 0:
+        return VertexSubset.empty(frontier.n_vertices)
+    batch = fn.apply_batch(vertices)
+    if batch is not None:
+        keep = np.asarray(batch, dtype=bool)
+        if keep.shape != vertices.shape:
+            raise ValueError("apply_batch must return a mask aligned with its input")
+        return VertexSubset(frontier.n_vertices, indices=vertices[keep])
+    kept = [int(v) for v in vertices.tolist() if fn.apply(int(v))]
+    return VertexSubset.from_iterable(frontier.n_vertices, kept)

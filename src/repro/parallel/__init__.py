@@ -1,0 +1,31 @@
+"""Shared-memory process parallelism substrate (pools, partitioning, reductions)."""
+
+from .partition import (
+    balanced_edge_ranges_by_vertex,
+    block_ranges,
+    chunk_ranges,
+    interleaved_assignment,
+)
+from .pool import ForkWorkerPool, effective_worker_count, fork_available
+from .reduction import inplace_accumulate, sum_reduce, tree_reduce
+from .scheduling import SchedulePolicy, make_schedule
+from .shm import SharedArrayHandle, SharedArraySet, attach, attach_many
+
+__all__ = [
+    "block_ranges",
+    "balanced_edge_ranges_by_vertex",
+    "chunk_ranges",
+    "interleaved_assignment",
+    "ForkWorkerPool",
+    "effective_worker_count",
+    "fork_available",
+    "sum_reduce",
+    "tree_reduce",
+    "inplace_accumulate",
+    "SchedulePolicy",
+    "make_schedule",
+    "SharedArrayHandle",
+    "SharedArraySet",
+    "attach",
+    "attach_many",
+]

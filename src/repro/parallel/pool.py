@@ -1,0 +1,213 @@
+"""A persistent fork-based worker pool for shared-memory kernels.
+
+``multiprocessing.Pool`` re-pickles every argument per call; for the GEE
+edge pass we instead want workers that (a) are forked once, (b) attach to
+the shared-memory graph buffers once, and (c) then receive only tiny task
+descriptors (edge ranges) per call.  :class:`ForkWorkerPool` implements that
+pattern with plain ``multiprocessing.Process`` + queues and degrades
+gracefully to in-process execution when only one worker is requested or the
+platform cannot fork.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue
+import traceback
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+__all__ = ["ForkWorkerPool", "effective_worker_count", "fork_available"]
+
+
+def fork_available() -> bool:
+    """Whether the ``fork`` start method is usable on this platform."""
+    try:
+        return "fork" in mp.get_all_start_methods()
+    except Exception:  # pragma: no cover - defensive
+        return False
+
+
+def effective_worker_count(requested: Optional[int] = None) -> int:
+    """Clamp a requested worker count to the machine's CPU count.
+
+    ``None`` or ``0`` means "use all CPUs".
+    """
+    n_cpus = os.cpu_count() or 1
+    if requested is None or requested <= 0:
+        return n_cpus
+    return max(1, min(int(requested), n_cpus))
+
+
+def _worker_main(
+    worker_id: int,
+    init_fn: Optional[Callable[..., Dict[str, Any]]],
+    init_args: tuple,
+    task_queue: "mp.Queue",
+    result_queue: "mp.Queue",
+) -> None:
+    """Worker loop: run the initialiser once, then serve tasks until None."""
+    try:
+        context: Dict[str, Any] = {}
+        if init_fn is not None:
+            context = init_fn(worker_id, *init_args) or {}
+    except BaseException:
+        result_queue.put(("__init_error__", worker_id, traceback.format_exc()))
+        return
+    result_queue.put(("__ready__", worker_id, None))
+    while True:
+        item = task_queue.get()
+        if item is None:
+            break
+        task_id, fn, args = item
+        try:
+            result = fn(context, *args)
+            result_queue.put((task_id, None, result))
+        except BaseException:
+            result_queue.put((task_id, traceback.format_exc(), None))
+
+
+class ForkWorkerPool:
+    """Pool of forked workers sharing a one-time initialised context.
+
+    Parameters
+    ----------
+    n_workers:
+        Number of worker processes.  ``1`` short-circuits to in-process
+        execution (no fork), which keeps the code path identical for the
+        serial baseline.
+    initializer:
+        ``initializer(worker_id, *initargs) -> dict`` run once in each
+        worker; the returned dict is passed as the first argument to every
+        task function.  This is where workers attach shared memory.
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        initializer: Optional[Callable[..., Dict[str, Any]]] = None,
+        initargs: tuple = (),
+    ) -> None:
+        self.n_workers = max(1, int(n_workers))
+        self._initializer = initializer
+        self._initargs = initargs
+        self._procs: List[mp.process.BaseProcess] = []
+        self._task_queue: Optional[mp.Queue] = None
+        self._result_queue: Optional[mp.Queue] = None
+        self._closed = False
+        self._inline = self.n_workers == 1 or not fork_available()
+        self._inline_context: Optional[Dict[str, Any]] = None
+        if not self._inline:
+            self._start()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def _start(self) -> None:
+        ctx = mp.get_context("fork")
+        self._task_queue = ctx.Queue()
+        self._result_queue = ctx.Queue()
+        for wid in range(self.n_workers):
+            p = ctx.Process(
+                target=_worker_main,
+                args=(
+                    wid,
+                    self._initializer,
+                    self._initargs,
+                    self._task_queue,
+                    self._result_queue,
+                ),
+                daemon=True,
+            )
+            p.start()
+            self._procs.append(p)
+        ready = 0
+        while ready < self.n_workers:
+            tag, wid, err = self._result_queue.get()
+            if tag == "__init_error__":
+                self.close()
+                raise RuntimeError(f"worker {wid} failed to initialise:\n{err}")
+            if tag == "__ready__":
+                ready += 1
+
+    @property
+    def is_inline(self) -> bool:
+        """True when tasks run in the calling process (no fork)."""
+        return self._inline
+
+    def close(self) -> None:
+        """Shut down worker processes (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if not self._inline and self._task_queue is not None:
+            for _ in self._procs:
+                try:
+                    self._task_queue.put(None)
+                except Exception:  # pragma: no cover - defensive
+                    pass
+            for p in self._procs:
+                p.join(timeout=5)
+                if p.is_alive():  # pragma: no cover - defensive
+                    p.terminate()
+        self._procs.clear()
+        self._inline_context = None
+
+    def __enter__(self) -> "ForkWorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def _ensure_inline_context(self) -> Dict[str, Any]:
+        if self._inline_context is None:
+            if self._initializer is not None:
+                self._inline_context = self._initializer(0, *self._initargs) or {}
+            else:
+                self._inline_context = {}
+        return self._inline_context
+
+    def map(self, fn: Callable[..., Any], task_args: Sequence[tuple]) -> List[Any]:
+        """Run ``fn(context, *args)`` for every argument tuple.
+
+        Results are returned in task order.  Tasks are distributed to idle
+        workers dynamically (a shared queue), so uneven task costs
+        self-balance — the same behaviour as a work-stealing scheduler at
+        the granularity of one task.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        task_args = list(task_args)
+        if self._inline:
+            context = self._ensure_inline_context()
+            return [fn(context, *args) for args in task_args]
+        assert self._task_queue is not None and self._result_queue is not None
+        for task_id, args in enumerate(task_args):
+            self._task_queue.put((task_id, fn, args))
+        results: List[Any] = [None] * len(task_args)
+        received = 0
+        while received < len(task_args):
+            try:
+                task_id, err, value = self._result_queue.get(timeout=5.0)
+            except queue.Empty:
+                # No result in a while: make sure the workers are still alive,
+                # otherwise this map would wait forever.
+                dead = [p for p in self._procs if not p.is_alive()]
+                if dead:
+                    raise RuntimeError(
+                        f"{len(dead)} worker process(es) died while running tasks "
+                        f"(exit codes {[p.exitcode for p in dead]})"
+                    )
+                continue
+            if err is not None:
+                raise RuntimeError(f"worker task {task_id} failed:\n{err}")
+            results[task_id] = value
+            received += 1
+        return results
+
+    def run_on_all(self, fn: Callable[..., Any], *args: Any) -> List[Any]:
+        """Run the same task once per worker (e.g. barrier-style setup)."""
+        return self.map(fn, [tuple(args)] * self.n_workers)

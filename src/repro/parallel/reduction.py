@@ -1,0 +1,66 @@
+"""Reductions for combining per-worker partial results.
+
+The process-parallel GEE kernel has each worker accumulate a private copy of
+the embedding ``Z`` for its edge range; the partials are then combined.
+For `p` workers and an `(n, K)` embedding the combine step costs
+``O(n·K·p)`` which, for the paper's configurations (``s >> n·K``), is small
+relative to the ``O(s)`` edge pass — this is what lets the private-partial
+strategy stand in for Ligra's hardware atomics without changing the
+scalability story (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["sum_reduce", "tree_reduce", "inplace_accumulate"]
+
+
+def sum_reduce(partials: Sequence[np.ndarray]) -> np.ndarray:
+    """Sum a sequence of equally shaped arrays into a new array."""
+    partials = list(partials)
+    if not partials:
+        raise ValueError("nothing to reduce")
+    out = np.array(partials[0], dtype=np.float64, copy=True)
+    for p in partials[1:]:
+        if p.shape != out.shape:
+            raise ValueError(f"shape mismatch in reduction: {p.shape} vs {out.shape}")
+        out += p
+    return out
+
+
+def tree_reduce(partials: Sequence[np.ndarray]) -> np.ndarray:
+    """Pairwise (tree) reduction.
+
+    Mathematically identical to :func:`sum_reduce` up to floating-point
+    association order; the tree shape halves the length of the dependency
+    chain, which matters when the reduction itself is parallelised or when
+    accumulation error on long chains is a concern.
+    """
+    partials = [np.asarray(p, dtype=np.float64) for p in partials]
+    if not partials:
+        raise ValueError("nothing to reduce")
+    if len(partials) == 1:
+        return partials[0].copy()
+    level: List[np.ndarray] = [p.copy() for p in partials]
+    while len(level) > 1:
+        nxt: List[np.ndarray] = []
+        for i in range(0, len(level) - 1, 2):
+            if level[i].shape != level[i + 1].shape:
+                raise ValueError("shape mismatch in reduction")
+            nxt.append(level[i] + level[i + 1])
+        if len(level) % 2 == 1:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]
+
+
+def inplace_accumulate(target: np.ndarray, partials: Sequence[np.ndarray]) -> np.ndarray:
+    """Add every partial into ``target`` (which is returned)."""
+    for p in partials:
+        if p.shape != target.shape:
+            raise ValueError(f"shape mismatch in reduction: {p.shape} vs {target.shape}")
+        target += p
+    return target

@@ -1,0 +1,83 @@
+"""Chunk scheduling policies for the parallel edge pass.
+
+Ligra's runtime schedules the dense edge map with a parallel-for over
+vertices; the grain size (how many vertices or edges one steal unit covers)
+controls the balance between scheduling overhead and load imbalance.  The
+policies here pick chunk boundaries for a given strategy and are exercised
+by the scheduling ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from .partition import balanced_edge_ranges_by_vertex, block_ranges, chunk_ranges
+
+__all__ = ["SchedulePolicy", "make_schedule"]
+
+
+@dataclass(frozen=True)
+class SchedulePolicy:
+    """A named scheduling policy.
+
+    Attributes
+    ----------
+    name:
+        ``"static"`` — one contiguous block per worker;
+        ``"dynamic"`` — many fixed-size chunks pulled from a shared queue;
+        ``"guided"`` — exponentially decreasing chunk sizes;
+        ``"degree-balanced"`` — vertex ranges with equal edge counts
+        (requires a CSR ``indptr``).
+    chunk_size:
+        Base chunk size for the dynamic policy (items per chunk).
+    min_chunk:
+        Smallest chunk the guided policy will emit.
+    """
+
+    name: str = "static"
+    chunk_size: int = 65536
+    min_chunk: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.name not in ("static", "dynamic", "guided", "degree-balanced"):
+            raise ValueError(f"unknown schedule policy {self.name!r}")
+        if self.chunk_size <= 0 or self.min_chunk <= 0:
+            raise ValueError("chunk sizes must be positive")
+
+
+def make_schedule(
+    policy: SchedulePolicy,
+    n_items: int,
+    n_workers: int,
+    indptr: np.ndarray | None = None,
+) -> List[Tuple[int, int]]:
+    """Produce the list of (lo, hi) item ranges for a policy.
+
+    For ``degree-balanced`` the items are interpreted as *vertices* and
+    ``indptr`` must be supplied; every other policy treats items as a flat
+    range (edges).
+    """
+    if n_workers <= 0:
+        raise ValueError("n_workers must be positive")
+    if policy.name == "static":
+        return [r for r in block_ranges(n_items, n_workers)]
+    if policy.name == "dynamic":
+        return chunk_ranges(n_items, policy.chunk_size)
+    if policy.name == "degree-balanced":
+        if indptr is None:
+            raise ValueError("degree-balanced scheduling requires a CSR indptr")
+        return balanced_edge_ranges_by_vertex(indptr, n_workers)
+    # guided: halve the remaining work / workers each round.
+    ranges: List[Tuple[int, int]] = []
+    remaining = n_items
+    lo = 0
+    while remaining > 0:
+        size = max(policy.min_chunk, remaining // (2 * n_workers))
+        size = min(size, remaining)
+        ranges.append((lo, lo + size))
+        lo += size
+        remaining -= size
+    return ranges

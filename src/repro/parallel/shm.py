@@ -1,0 +1,194 @@
+"""Shared-memory NumPy arrays for process-based parallelism.
+
+CPython's GIL prevents threads from running the GEE edge loop concurrently,
+so true shared-memory parallelism in pure Python goes through processes.
+This module wraps :mod:`multiprocessing.shared_memory` so that worker
+processes can map the *same* physical buffers (edge arrays, the projection
+matrix ``W`` and the embedding ``Z``) without copying — the moral equivalent
+of the threads-over-one-heap model Ligra relies on.
+
+Typical usage::
+
+    with SharedArraySet() as shm:
+        src = shm.share("src", edges.src)        # copied into shared memory
+        Z = shm.zeros("Z", (n, K), np.float64)   # allocated in shared memory
+        ... spawn workers, pass shm.handles() ...
+
+Workers call :func:`attach` with the handle dictionary to get views of the
+same buffers.
+"""
+
+from __future__ import annotations
+
+import atexit
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["SharedArrayHandle", "SharedArraySet", "attach", "attach_many"]
+
+
+@dataclass(frozen=True)
+class SharedArrayHandle:
+    """Picklable description of a shared-memory NumPy array."""
+
+    shm_name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+    def nbytes(self) -> int:
+        """Size of the underlying buffer in bytes."""
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+
+class SharedArraySet:
+    """Owner of a collection of named shared-memory arrays.
+
+    The creating process owns the segments: :meth:`close` (or use as a
+    context manager) unlinks every segment.  Child processes must only
+    *attach* (see :func:`attach`), never unlink.
+    """
+
+    def __init__(self) -> None:
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        self._arrays: Dict[str, np.ndarray] = {}
+        self._handles: Dict[str, SharedArrayHandle] = {}
+        self._closed = False
+        atexit.register(self.close)
+
+    # ------------------------------------------------------------------ #
+    # Allocation
+    # ------------------------------------------------------------------ #
+    def zeros(self, name: str, shape: Tuple[int, ...], dtype=np.float64) -> np.ndarray:
+        """Allocate a zero-initialised shared array under ``name``."""
+        return self._allocate(name, shape, np.dtype(dtype), initial=None)
+
+    def empty(self, name: str, shape: Tuple[int, ...], dtype=np.float64) -> np.ndarray:
+        """Allocate a shared array without the explicit zero fill.
+
+        Freshly created POSIX shared-memory segments are zero pages anyway;
+        use this when every element will be overwritten (it skips one full
+        pass over the buffer).
+        """
+        return self._allocate(name, shape, np.dtype(dtype), initial=None, fill=False)
+
+    def share(self, name: str, array: np.ndarray) -> np.ndarray:
+        """Copy ``array`` into shared memory under ``name`` and return the view."""
+        array = np.ascontiguousarray(array)
+        return self._allocate(name, array.shape, array.dtype, initial=array)
+
+    def _allocate(
+        self,
+        name: str,
+        shape: Tuple[int, ...],
+        dtype: np.dtype,
+        initial: Optional[np.ndarray],
+        fill: bool = True,
+    ) -> np.ndarray:
+        if self._closed:
+            raise RuntimeError("SharedArraySet is closed")
+        if name in self._segments:
+            raise KeyError(f"shared array {name!r} already exists")
+        nbytes = max(1, int(np.prod(shape, dtype=np.int64)) * dtype.itemsize)
+        seg = shared_memory.SharedMemory(create=True, size=nbytes)
+        view = np.ndarray(shape, dtype=dtype, buffer=seg.buf)
+        if initial is None:
+            if fill:
+                view.fill(0)
+        else:
+            view[...] = initial
+        self._segments[name] = seg
+        self._arrays[name] = view
+        self._handles[name] = SharedArrayHandle(seg.name, tuple(shape), dtype.str)
+        return view
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self._arrays[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._arrays
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._arrays)
+
+    def handles(self) -> Dict[str, SharedArrayHandle]:
+        """Picklable handles for all arrays, to pass to worker processes."""
+        return dict(self._handles)
+
+    # ------------------------------------------------------------------ #
+    # Lifetime
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release and unlink every shared segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._arrays.clear()
+        for seg in self._segments.values():
+            try:
+                seg.close()
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+        self._segments.clear()
+        self._handles.clear()
+
+    def __enter__(self) -> "SharedArraySet":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - defensive
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def attach(handle: SharedArrayHandle) -> Tuple[np.ndarray, shared_memory.SharedMemory]:
+    """Attach to a shared array created in another process.
+
+    Returns the NumPy view *and* the ``SharedMemory`` object; the caller
+    must keep the latter alive for as long as the view is used and call
+    ``close()`` (but never ``unlink()``) when done.
+    """
+    # Python <3.13 registers *attached* segments with the resource tracker as
+    # if this process owned them, producing spurious "leaked shared_memory"
+    # warnings (and unregister KeyErrors) at shutdown even though only the
+    # creating SharedArraySet owns and unlinks them.  Suppress the
+    # registration for the duration of the attach; ownership bookkeeping
+    # stays solely with the creator.
+    from multiprocessing import resource_tracker
+
+    original_register = resource_tracker.register
+
+    def _no_shm_register(name, rtype):  # pragma: no cover - trivial shim
+        if rtype != "shared_memory":
+            original_register(name, rtype)
+
+    resource_tracker.register = _no_shm_register
+    try:
+        seg = shared_memory.SharedMemory(name=handle.shm_name)
+    finally:
+        resource_tracker.register = original_register
+    view = np.ndarray(handle.shape, dtype=np.dtype(handle.dtype), buffer=seg.buf)
+    return view, seg
+
+
+def attach_many(
+    handles: Dict[str, SharedArrayHandle],
+) -> Tuple[Dict[str, np.ndarray], list]:
+    """Attach to every handle in a dictionary; returns (views, segments)."""
+    views: Dict[str, np.ndarray] = {}
+    segments = []
+    for name, handle in handles.items():
+        view, seg = attach(handle)
+        views[name] = view
+        segments.append(seg)
+    return views, segments

@@ -1,0 +1,157 @@
+"""Exact-value tests of the reference GEE implementation (Algorithm 1).
+
+These tests pin down the algorithm's semantics on hand-computed examples so
+that the equivalence tests (which compare the other implementations against
+the reference) are anchored to the paper's definition rather than to
+whatever the code happens to do.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    UNKNOWN_LABEL,
+    gee_python,
+    labels_from_paper_convention,
+    labels_to_paper_convention,
+    validate_labels,
+)
+from repro.core.projection import (
+    build_projection,
+    build_projection_parallel,
+    projection_from_scales,
+    projection_scales,
+)
+from repro.graph import EdgeList
+
+
+class TestProjectionMatrix:
+    def test_values_are_inverse_class_counts(self):
+        y = np.array([0, 0, 1, -1, 1, 1])
+        W = build_projection(y, 2)
+        assert W.shape == (6, 2)
+        assert W[0, 0] == pytest.approx(1 / 2)
+        assert W[2, 1] == pytest.approx(1 / 3)
+        assert np.all(W[3] == 0)  # unknown label contributes nothing
+
+    def test_empty_class_column_is_zero(self):
+        y = np.array([0, 0, -1])
+        W = build_projection(y, 3)
+        assert np.all(W[:, 1] == 0) and np.all(W[:, 2] == 0)
+
+    def test_parallel_matches_serial(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(-1, 20, size=500)
+        np.testing.assert_allclose(
+            build_projection(y, 20), build_projection_parallel(y, 20, n_workers=4)
+        )
+
+    def test_scales_match_dense_projection(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(-1, 7, size=200)
+        W = build_projection(y, 7)
+        scales = projection_scales(y, 7)
+        known = y != UNKNOWN_LABEL
+        np.testing.assert_allclose(scales[known], W[np.flatnonzero(known), y[known]])
+        np.testing.assert_allclose(projection_from_scales(y, scales, 7), W)
+
+    def test_columns_sum_to_one_for_nonempty_classes(self):
+        rng = np.random.default_rng(2)
+        y = rng.integers(0, 5, size=300)
+        W = build_projection(y, 5)
+        np.testing.assert_allclose(W.sum(axis=0), 1.0)
+
+
+class TestAlgorithmOnHandExamples:
+    def test_single_edge_both_directions(self):
+        # One edge 0 -> 1 with weight 2; Y = [0, 1]; one vertex per class.
+        edges = EdgeList([0], [1], weights=[2.0], n_vertices=2)
+        y = np.array([0, 1])
+        Z = gee_python(edges, y).embedding
+        # Z[0, Y[1]] += W[1, Y[1]] * 2 = (1/1)*2 ; Z[1, Y[0]] += (1/1)*2
+        np.testing.assert_allclose(Z, [[0.0, 2.0], [2.0, 0.0]])
+
+    def test_unknown_destination_contributes_nothing(self):
+        edges = EdgeList([0], [1], n_vertices=2)
+        y = np.array([0, -1])
+        Z = gee_python(edges, y, n_classes=1).embedding
+        # Only line 11 fires: Z[1, Y[0]] += W[0,0]*1 = 1
+        np.testing.assert_allclose(Z, [[0.0], [1.0]])
+
+    def test_class_counts_normalise_contributions(self):
+        # Two vertices in class 0; edges from vertex 2 to both.
+        edges = EdgeList([2, 2], [0, 1], n_vertices=3)
+        y = np.array([0, 0, 1])
+        Z = gee_python(edges, y).embedding
+        # Each contribution into Z[2, 0] is 1/2 -> total 1.0.
+        assert Z[2, 0] == pytest.approx(1.0)
+        # Each of vertices 0,1 receives W[2,1]*1 = 1 into class 1.
+        assert Z[0, 1] == pytest.approx(1.0)
+        assert Z[1, 1] == pytest.approx(1.0)
+
+    def test_self_loop_contributes_to_own_row_twice(self):
+        edges = EdgeList([0], [0], weights=[3.0], n_vertices=1)
+        y = np.array([0])
+        Z = gee_python(edges, y).embedding
+        # Both updates hit Z[0, 0]: 2 * (1/1) * 3.
+        assert Z[0, 0] == pytest.approx(6.0)
+
+    def test_weighted_graph_scales_linearly(self, tiny_edges):
+        y = np.array([0, 1, 0, 1, 0])
+        base = gee_python(tiny_edges, y).embedding
+        doubled = gee_python(tiny_edges.with_weights(tiny_edges.effective_weights() * 2), y).embedding
+        np.testing.assert_allclose(doubled, 2 * base)
+
+    def test_result_metadata(self, tiny_edges):
+        y = np.array([0, 1, 0, 1, 0])
+        res = gee_python(tiny_edges, y)
+        assert res.method == "gee-python"
+        assert res.n_vertices == 5
+        assert res.n_classes == 2
+        assert res.total_seconds >= 0
+        assert set(res.timings) == {"projection", "edge_pass", "total"}
+
+    def test_normalized_rows_unit_norm(self, tiny_edges):
+        y = np.array([0, 1, 0, 1, 0])
+        res = gee_python(tiny_edges, y)
+        norms = np.linalg.norm(res.normalized(), axis=1)
+        nonzero = np.linalg.norm(res.embedding, axis=1) > 0
+        np.testing.assert_allclose(norms[nonzero], 1.0)
+
+
+class TestLabelValidation:
+    def test_unknown_only_requires_explicit_k(self):
+        edges = EdgeList([0], [1], n_vertices=2)
+        with pytest.raises(ValueError, match="n_classes"):
+            gee_python(edges, np.array([-1, -1]))
+
+    def test_label_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            validate_labels(np.array([0, 5]), 2, n_classes=3)
+
+    def test_below_minus_one_rejected(self):
+        with pytest.raises(ValueError, match=">= -1"):
+            validate_labels(np.array([-2, 0]), 2)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(ValueError, match="integers"):
+            validate_labels(np.array([0.5, 1.0]), 2)
+
+    def test_float_integers_accepted(self):
+        y, k = validate_labels(np.array([0.0, 1.0]), 2)
+        assert y.dtype == np.int64
+        assert k == 2
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            validate_labels(np.array([0, 1, 0]), 2)
+
+    def test_paper_convention_round_trip(self):
+        y_paper = np.array([0, 1, 3, 0])
+        internal = labels_from_paper_convention(y_paper)
+        np.testing.assert_array_equal(internal, [-1, 0, 2, -1])
+        np.testing.assert_array_equal(labels_to_paper_convention(internal), y_paper)
+
+    def test_paper_convention_rejects_negative(self):
+        with pytest.raises(ValueError):
+            labels_from_paper_convention(np.array([-1, 0]))

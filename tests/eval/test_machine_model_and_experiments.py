@@ -1,0 +1,121 @@
+"""Tests for the machine model and (small-scale) experiment drivers."""
+
+import numpy as np
+import pytest
+
+from repro.eval.machine_model import PAPER_MACHINE, MachineModel, fit_p_half
+from repro.eval import experiments
+
+
+class TestMachineModel:
+    def test_runtime_scales_linearly_with_edges(self):
+        m = PAPER_MACHINE
+        assert m.runtime(2_000_000, 4) == pytest.approx(2 * m.runtime(1_000_000, 4), rel=0.01)
+
+    def test_speedup_is_monotone_in_cores(self):
+        m = PAPER_MACHINE
+        speedups = [m.speedup(1_800_000_000, p) for p in range(1, 25)]
+        assert all(b >= a - 1e-9 for a, b in zip(speedups, speedups[1:]))
+
+    def test_paper_headline_point_reproduced(self):
+        """Figure 3's endpoint: ~11x speedup at 24 cores on Friendster."""
+        speedup = PAPER_MACHINE.speedup(1_800_000_000, 24)
+        assert 9.0 <= speedup <= 13.0
+
+    def test_serial_runtime_order_of_magnitude(self):
+        """Table I: Ligra serial on Friendster took 77 s."""
+        t = PAPER_MACHINE.runtime(1_800_000_000, 1)
+        assert 50 <= t <= 110
+
+    def test_sublinear_beyond_bandwidth_knee(self):
+        m = PAPER_MACHINE
+        s = 1_800_000_000
+        assert m.speedup(s, 24) < 24 * 0.75
+
+    def test_bandwidth_saturates(self):
+        m = PAPER_MACHINE
+        assert m.bandwidth(48) < 2 * m.bandwidth(4)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            PAPER_MACHINE.runtime(-1, 2)
+        with pytest.raises(ValueError):
+            PAPER_MACHINE.runtime(10, 0)
+        with pytest.raises(ValueError):
+            PAPER_MACHINE.bandwidth(0)
+
+    def test_scaled_matches_measured_serial(self):
+        m = PAPER_MACHINE.scaled(measured_serial=2.0, n_edges=10_000_000)
+        assert m.runtime(10_000_000, 1) == pytest.approx(2.0, rel=1e-6)
+
+    def test_speedup_curve_keys(self):
+        curve = PAPER_MACHINE.speedup_curve(1_000_000, [1, 2, 4])
+        assert set(curve) == {1, 2, 4}
+
+    def test_fit_p_half_recovers_generator(self):
+        truth = MachineModel(bandwidth_half_cores=5.0)
+        cores = [1, 2, 4, 8, 16, 24]
+        speedups = [truth.speedup(10**9, p) for p in cores]
+        fitted = fit_p_half(cores, speedups, 10**9)
+        assert fitted.bandwidth_half_cores == pytest.approx(5.0, abs=0.5)
+
+    def test_fit_p_half_invalid(self):
+        with pytest.raises(ValueError):
+            fit_p_half([], [], 100)
+
+
+@pytest.mark.slow
+class TestExperimentDriversSmall:
+    """Run every experiment driver at a tiny scale to validate plumbing."""
+
+    SCALE = 1e-5
+
+    def test_table1_rows_and_columns(self):
+        rows = experiments.table1(scale=self.SCALE, repeats=1, datasets=["twitch-sim", "pokec-sim"])
+        assert len(rows) == 2
+        for row in rows:
+            for col in experiments.TABLE1_COLUMNS:
+                assert row[col] > 0
+            assert row["speedup_vs_numba"] > 0
+            assert row["paper_speedup_vs_numba"] > 0
+
+    def test_figure2_normalisation(self):
+        rows = experiments.figure2(scale=self.SCALE, repeats=1, dataset="twitch-sim")
+        by_name = {r["implementation"]: r for r in rows}
+        assert by_name["numba-serial"]["normalized_to_numba"] == pytest.approx(1.0)
+        assert by_name["gee-python"]["runtime_s"] > 0
+        # The paper's own normalisation is reproduced exactly from Table I.
+        assert by_name["gee-python"]["paper_normalized"] == pytest.approx(12.18 / 0.20)
+        assert by_name["ligra-parallel"]["paper_normalized"] == pytest.approx(0.013 / 0.20)
+
+    def test_figure3_structure(self):
+        data = experiments.figure3(scale=self.SCALE, repeats=1, dataset="twitch-sim", max_cores=2)
+        assert data["measured"][0]["cores"] == 1
+        assert data["measured"][0]["speedup"] == pytest.approx(1.0)
+        assert len(data["model"]) == 24
+        assert data["paper_speedup_24_cores"] == pytest.approx(77.23 / 6.42)
+
+    def test_figure4_linear_growth(self):
+        rows = experiments.figure4(log2_edges=[10, 12], repeats=1, include_python=False)
+        assert rows[0]["n_edges"] == 1024
+        assert rows[1]["n_edges"] == 4096
+        assert np.isnan(rows[0]["gee-python"])
+        assert rows[1]["numba-serial"] > 0
+
+    def test_ablation_projection_init_fraction_ordering(self):
+        rows = experiments.ablation_projection_init(n_vertices=20_000, n_classes=20)
+        by_regime = {r["regime"]: r for r in rows}
+        # The O(nK) init is a larger fraction of the total on the sparse graph.
+        assert by_regime["sparse"]["projection_fraction"] > by_regime["dense"]["projection_fraction"]
+
+    def test_ablation_atomics_results_agree(self):
+        out = experiments.ablation_atomics(scale=self.SCALE, repeats=1, dataset="twitch-sim", n_workers=2)
+        assert out["max_abs_embedding_deviation"] < 1e-9
+        assert out["runtime_atomics_on_s"] > 0
+
+    def test_cli_main_runs_table1(self, capsys):
+        code = experiments.main(["table1", "--scale", "1e-5", "--skip-python"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "friendster-sim" in out

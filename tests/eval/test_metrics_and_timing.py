@@ -1,0 +1,158 @@
+"""Tests for evaluation metrics, timing utilities and report formatting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import (
+    Timer,
+    accuracy,
+    adjusted_rand_index,
+    ascii_line_plot,
+    best_match_accuracy,
+    confusion_matrix,
+    format_csv,
+    format_markdown_table,
+    normalized_mutual_information,
+    time_callable,
+    within_between_separation,
+)
+
+
+class TestAccuracyAndConfusion:
+    def test_accuracy_basic(self):
+        assert accuracy(np.array([0, 1, 1]), np.array([0, 1, 0])) == pytest.approx(2 / 3)
+
+    def test_accuracy_empty(self):
+        assert accuracy(np.array([]), np.array([])) == 1.0
+
+    def test_accuracy_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([0]), np.array([0, 1]))
+
+    def test_confusion_matrix_counts(self):
+        table = confusion_matrix(np.array([0, 0, 1]), np.array([0, 1, 1]))
+        assert table.tolist() == [[1, 1], [0, 1]]
+
+    def test_confusion_matrix_empty(self):
+        assert confusion_matrix(np.array([]), np.array([])).shape == (0, 0)
+
+
+class TestClusteringMetrics:
+    def test_ari_identical_partitions(self):
+        y = np.array([0, 0, 1, 1, 2, 2])
+        assert adjusted_rand_index(y, y) == pytest.approx(1.0)
+
+    def test_ari_permuted_labels_still_one(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([1, 1, 0, 0])
+        assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+
+    def test_ari_random_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 5, 2000)
+        b = rng.integers(0, 5, 2000)
+        assert abs(adjusted_rand_index(a, b)) < 0.05
+
+    def test_nmi_identical(self):
+        y = np.array([0, 1, 2, 0, 1, 2])
+        assert normalized_mutual_information(y, y) == pytest.approx(1.0)
+
+    def test_nmi_independent_near_zero(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 4, 3000)
+        b = rng.integers(0, 4, 3000)
+        assert normalized_mutual_information(a, b) < 0.05
+
+    def test_nmi_single_cluster(self):
+        assert normalized_mutual_information(np.zeros(5, int), np.zeros(5, int)) == 1.0
+
+    def test_best_match_accuracy_handles_permutation(self):
+        a = np.array([0, 0, 1, 1, 2, 2])
+        b = np.array([2, 2, 0, 0, 1, 1])
+        assert best_match_accuracy(a, b) == pytest.approx(1.0)
+
+    @given(labels=st.lists(st.integers(0, 3), min_size=2, max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_metric_bounds_property(self, labels):
+        y = np.array(labels)
+        rng = np.random.default_rng(0)
+        other = rng.integers(0, 4, y.size)
+        ari = adjusted_rand_index(y, other)
+        nmi = normalized_mutual_information(y, other)
+        assert -1.0 <= ari <= 1.0 + 1e-12
+        assert -1e-12 <= nmi <= 1.0 + 1e-12
+
+
+class TestSeparation:
+    def test_separated_clusters_score_high(self):
+        rng = np.random.default_rng(0)
+        Z = np.vstack([rng.normal(0, 0.05, (40, 3)), rng.normal(3, 0.05, (40, 3))])
+        y = np.repeat([0, 1], 40)
+        assert within_between_separation(Z, y) > 5
+
+    def test_random_embedding_scores_near_one(self):
+        rng = np.random.default_rng(1)
+        Z = rng.standard_normal((80, 3))
+        y = rng.integers(0, 2, 80)
+        assert within_between_separation(Z, y) == pytest.approx(1.0, abs=0.2)
+
+    def test_sampling_path(self):
+        rng = np.random.default_rng(2)
+        Z = rng.standard_normal((500, 2))
+        y = rng.integers(0, 3, 500)
+        value = within_between_separation(Z, y, sample=100, seed=0)
+        assert np.isfinite(value)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            within_between_separation(np.zeros((3, 2)), np.zeros(4, int))
+
+
+class TestTiming:
+    def test_timer_records_samples(self):
+        timer = Timer()
+        with timer.measure("phase"):
+            sum(range(1000))
+        with timer.measure("phase"):
+            sum(range(1000))
+        assert timer.records["phase"].n_samples == 2
+        assert timer.best("phase") >= 0
+
+    def test_time_callable_repeats(self):
+        record = time_callable(lambda: sum(range(100)), repeats=3, warmup=1)
+        assert record.n_samples == 3
+        assert record.best <= record.mean + 1e-12
+
+    def test_time_callable_invalid_repeats(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repeats=0)
+
+
+class TestReporting:
+    def test_markdown_table_structure(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 3, "b": 4.25}]
+        text = format_markdown_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("| a | b |")
+        assert len(lines) == 4
+
+    def test_markdown_table_empty(self):
+        assert format_markdown_table([]) == "(no rows)"
+
+    def test_csv_output(self):
+        rows = [{"x": 1, "y": "p"}]
+        assert format_csv(rows) == "x,y\n1,p"
+
+    def test_csv_empty(self):
+        assert format_csv([]) == ""
+
+    def test_ascii_plot_contains_markers_and_legend(self):
+        series = {"runtime": [(1, 1.0), (10, 10.0), (100, 100.0)]}
+        art = ascii_line_plot(series, logx=True, logy=True, xlabel="edges", ylabel="sec")
+        assert "legend" in art
+        assert "o" in art
+
+    def test_ascii_plot_no_data(self):
+        assert ascii_line_plot({"empty": []}) == "(no data)"

@@ -1,0 +1,116 @@
+"""Unit tests for repro.graph.builders."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    EdgeList,
+    add_unit_weights,
+    deduplicate,
+    is_symmetric,
+    largest_connected_subgraph,
+    normalize_weights,
+    relabel_compact,
+    remove_self_loops,
+    subgraph,
+    symmetrize,
+)
+
+
+class TestSymmetrize:
+    def test_doubles_edge_count(self, tiny_edges):
+        s = symmetrize(tiny_edges)
+        assert s.n_edges == 2 * tiny_edges.n_edges
+
+    def test_result_is_symmetric(self, tiny_edges):
+        assert is_symmetric(symmetrize(tiny_edges))
+
+    def test_coalesce_merges_reciprocal_duplicates(self):
+        e = EdgeList([0, 1], [1, 0], weights=[1.0, 2.0])
+        s = symmetrize(e, coalesce=True)
+        assert s.n_edges == 2
+        assert s.total_weight() == pytest.approx(6.0)
+
+
+class TestDeduplicate:
+    def test_sum_combines_weights(self):
+        e = EdgeList([0, 0, 1], [1, 1, 2], weights=[1.0, 2.0, 5.0])
+        d = deduplicate(e, combine="sum")
+        assert d.n_edges == 2
+        assert d.total_weight() == pytest.approx(8.0)
+
+    def test_first_keeps_first_weight(self):
+        e = EdgeList([0, 0], [1, 1], weights=[1.0, 2.0])
+        d = deduplicate(e, combine="first")
+        assert d.n_edges == 1
+        assert d.effective_weights()[0] == pytest.approx(1.0)
+
+    def test_max_keeps_largest(self):
+        e = EdgeList([0, 0], [1, 1], weights=[1.0, 2.0])
+        d = deduplicate(e, combine="max")
+        assert d.effective_weights()[0] == pytest.approx(2.0)
+
+    def test_unknown_mode_rejected(self, tiny_edges):
+        with pytest.raises(ValueError):
+            deduplicate(tiny_edges, combine="median")
+
+    def test_empty_input(self):
+        e = EdgeList([], [])
+        assert deduplicate(e).n_edges == 0
+
+
+class TestSelfLoopsAndRelabel:
+    def test_remove_self_loops(self, tiny_edges):
+        cleaned = remove_self_loops(tiny_edges)
+        assert cleaned.n_edges == 3
+        assert not cleaned.has_self_loops()
+
+    def test_relabel_compact_drops_isolated(self):
+        e = EdgeList([5, 9], [9, 5], n_vertices=20)
+        new, old_ids = relabel_compact(e)
+        assert new.n_vertices == 2
+        np.testing.assert_array_equal(old_ids, [5, 9])
+
+    def test_relabel_compact_empty(self):
+        new, old_ids = relabel_compact(EdgeList([], []))
+        assert new.n_vertices == 0
+        assert old_ids.size == 0
+
+
+class TestSubgraph:
+    def test_induced_subgraph_keeps_internal_edges(self, tiny_edges):
+        sub, verts = subgraph(tiny_edges, [0, 1, 2])
+        assert sub.n_vertices == 3
+        assert sub.n_edges == 2  # 0->1 and 0->2
+
+    def test_subgraph_without_relabel(self, tiny_edges):
+        sub, mapping = subgraph(tiny_edges, [0, 1, 2], relabel=False)
+        assert sub.n_vertices == tiny_edges.n_vertices
+        assert mapping.size == tiny_edges.n_vertices
+
+    def test_largest_connected_subgraph(self):
+        # Two components: {0,1,2} triangle-ish, {3,4} single edge.
+        e = EdgeList([0, 1, 3], [1, 2, 4], n_vertices=5)
+        sub, verts = largest_connected_subgraph(e)
+        assert sub.n_vertices == 3
+        assert set(verts.tolist()) == {0, 1, 2}
+
+
+class TestWeights:
+    def test_add_unit_weights(self, tiny_edges):
+        u = add_unit_weights(EdgeList([0], [1]))
+        assert u.is_weighted
+        assert u.total_weight() == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("mode,expected_max", [("max", 1.0), ("sum", 5 / 9), ("mean", 5 / 2.25)])
+    def test_normalize_modes(self, tiny_edges, mode, expected_max):
+        n = normalize_weights(tiny_edges, mode=mode)
+        assert n.effective_weights().max() == pytest.approx(expected_max)
+
+    def test_normalize_unknown_mode(self, tiny_edges):
+        with pytest.raises(ValueError):
+            normalize_weights(tiny_edges, mode="zscore")
+
+    def test_normalize_empty_graph(self):
+        e = EdgeList([], [])
+        assert normalize_weights(e).n_edges == 0

@@ -1,0 +1,87 @@
+"""Unit tests for repro.graph.csr."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, EdgeList, erdos_renyi
+
+
+class TestConstruction:
+    def test_from_edgelist_basic(self, tiny_edges):
+        g = CSRGraph.from_edgelist(tiny_edges)
+        assert g.n_vertices == 5
+        assert g.n_edges == 4
+        np.testing.assert_array_equal(g.neighbors(0), [1, 2])
+        np.testing.assert_allclose(g.neighbor_weights(0), [1.0, 2.0])
+        assert g.out_degree(1) == 0
+
+    def test_from_arrays(self):
+        g = CSRGraph.from_arrays([0, 1, 1], [1, 2, 0])
+        assert g.n_edges == 3
+        assert g.out_degree(1) == 2
+
+    def test_invalid_indptr_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph(indptr=[1, 2], indices=[0], weights=[1.0])
+
+    def test_decreasing_indptr_rejected(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            CSRGraph(indptr=[0, 2, 1, 3], indices=[0, 1, 2], weights=[1.0, 1.0, 1.0])
+
+    def test_weight_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="same length"):
+            CSRGraph(indptr=[0, 1], indices=[0], weights=[1.0, 2.0])
+
+
+class TestRoundTrip:
+    def test_edgelist_roundtrip_preserves_edges(self, random_graph):
+        csr = random_graph.to_csr()
+        back = csr.to_edgelist()
+        assert back.n_edges == random_graph.n_edges
+        orig = sorted(zip(random_graph.src, random_graph.dst))
+        rt = sorted(zip(back.src, back.dst))
+        assert orig == rt
+
+    def test_scipy_adjacency_agrees(self, weighted_graph):
+        csr = weighted_graph.to_csr()
+        A = csr.to_scipy()
+        assert A.shape == (weighted_graph.n_vertices,) * 2
+        assert A.sum() == pytest.approx(weighted_graph.total_weight())
+
+    def test_edge_sources_matches_indptr(self, random_graph):
+        csr = random_graph.to_csr()
+        srcs = csr.edge_sources()
+        assert srcs.size == csr.n_edges
+        # Every edge slot's source must own that slot in indptr.
+        for u in range(0, csr.n_vertices, 97):
+            lo, hi = csr.edge_slice(u)
+            assert np.all(srcs[lo:hi] == u)
+
+
+class TestInAdjacency:
+    def test_in_degrees_match_edgelist(self, random_graph):
+        csr = random_graph.to_csr()
+        np.testing.assert_array_equal(csr.in_degrees(), random_graph.in_degrees())
+
+    def test_in_neighbors_are_reverse_of_out(self, tiny_edges):
+        csr = tiny_edges.to_csr()
+        assert set(csr.in_neighbors(1).tolist()) == {0, 3}
+        assert csr.in_neighbors(0).size == 0
+
+    def test_transpose_swaps_degrees(self, random_graph):
+        csr = random_graph.to_csr()
+        t = csr.transpose()
+        np.testing.assert_array_equal(t.out_degrees(), csr.in_degrees())
+        np.testing.assert_array_equal(t.in_degrees(), csr.out_degrees())
+
+    def test_in_weights_sum_preserved(self, weighted_graph):
+        csr = weighted_graph.to_csr()
+        assert csr.in_weights.sum() == pytest.approx(csr.weights.sum())
+
+
+class TestLargeRandom:
+    def test_degree_sums_match_edge_count(self):
+        edges = erdos_renyi(1000, 5000, seed=3)
+        csr = edges.to_csr()
+        assert csr.out_degrees().sum() == 5000
+        assert csr.in_degrees().sum() == 5000

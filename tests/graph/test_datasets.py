@@ -1,0 +1,90 @@
+"""Unit tests for repro.graph.datasets (the Table I stand-ins)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import PAPER_GRAPHS, available_datasets, generate_labels, load
+from repro.graph.datasets import DEFAULT_SCALE
+
+
+class TestRegistry:
+    def test_six_paper_graphs_registered(self):
+        assert len(available_datasets()) == 6
+        assert available_datasets()[0] == "twitch-sim"
+        assert available_datasets()[-1] == "friendster-sim"
+
+    def test_paper_sizes_recorded(self):
+        spec = PAPER_GRAPHS["friendster-sim"]
+        assert spec.paper_n == 65_000_000
+        assert spec.paper_s == 1_800_000_000
+        assert spec.paper_runtime_ligra_parallel == pytest.approx(6.42)
+
+    def test_avg_degree_property(self):
+        spec = PAPER_GRAPHS["twitch-sim"]
+        assert spec.paper_avg_degree == pytest.approx(6_800_000 / 168_000)
+
+    def test_scaled_sizes_monotone_in_scale(self):
+        spec = PAPER_GRAPHS["pokec-sim"]
+        n1, s1 = spec.scaled_sizes(1e-4)
+        n2, s2 = spec.scaled_sizes(1e-3)
+        assert n2 >= n1 and s2 > s1
+
+
+class TestLoad:
+    def test_load_by_simulated_name(self):
+        edges, spec = load("twitch-sim", scale=1e-4, seed=0)
+        assert spec.paper_name == "Twitch"
+        assert edges.n_edges > 0
+
+    def test_load_by_paper_name_case_insensitive(self):
+        edges, spec = load("friendster", scale=1e-5, seed=0)
+        assert spec.name == "friendster-sim"
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load("no-such-graph")
+
+    def test_deterministic_for_seed(self):
+        a, _ = load("twitch-sim", scale=1e-4, seed=5)
+        b, _ = load("twitch-sim", scale=1e-4, seed=5)
+        assert a == b
+
+    def test_relative_ordering_of_sizes_preserved(self):
+        sizes = {}
+        for name in available_datasets():
+            edges, _ = load(name, scale=1e-5, seed=0)
+            sizes[name] = edges.n_edges
+        assert sizes["twitch-sim"] < sizes["pokec-sim"] < sizes["friendster-sim"]
+
+    def test_default_scale_is_tractable(self):
+        edges, _ = load("twitch-sim", scale=DEFAULT_SCALE)
+        assert edges.n_edges < 100_000
+
+
+class TestLabelProtocol:
+    def test_ten_percent_labelled(self):
+        y = generate_labels(10_000, 50, labelled_fraction=0.10, seed=0)
+        labelled = np.sum(y != -1)
+        assert labelled == 1000
+        assert y.max() < 50
+
+    def test_zero_fraction(self):
+        y = generate_labels(100, 50, labelled_fraction=0.0, seed=0)
+        assert np.all(y == -1)
+
+    def test_full_fraction(self):
+        y = generate_labels(100, 5, labelled_fraction=1.0, seed=0)
+        assert np.all(y >= 0)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            generate_labels(10, 5, labelled_fraction=1.5)
+
+    def test_invalid_classes(self):
+        with pytest.raises(ValueError):
+            generate_labels(10, 0)
+
+    def test_deterministic(self):
+        a = generate_labels(1000, 50, seed=3)
+        b = generate_labels(1000, 50, seed=3)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,147 @@
+"""Unit and property tests for repro.graph.generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    complete_graph,
+    configuration_power_law,
+    erdos_renyi,
+    is_symmetric,
+    path_graph,
+    planted_partition,
+    rmat,
+    star_graph,
+    stochastic_block_model,
+)
+
+
+class TestErdosRenyi:
+    def test_edge_count_exact(self):
+        e = erdos_renyi(100, 500, seed=0)
+        assert e.n_edges == 500
+        assert e.n_vertices == 100
+
+    def test_undirected_doubles_edges(self):
+        e = erdos_renyi(50, 100, seed=0, undirected=True)
+        assert e.n_edges == 200
+        assert is_symmetric(e)
+
+    def test_weighted_weights_in_range(self):
+        e = erdos_renyi(50, 100, seed=0, weighted=True)
+        w = e.effective_weights()
+        assert np.all((w >= 0.5) & (w <= 1.5))
+
+    def test_deterministic_for_seed(self):
+        a = erdos_renyi(100, 300, seed=42)
+        b = erdos_renyi(100, 300, seed=42)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = erdos_renyi(100, 300, seed=1)
+        b = erdos_renyi(100, 300, seed=2)
+        assert a != b
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(0, 10)
+        with pytest.raises(ValueError):
+            erdos_renyi(10, -1)
+
+    @given(n=st.integers(1, 200), s=st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_endpoints_always_in_range(self, n, s):
+        e = erdos_renyi(n, s, seed=0)
+        assert e.n_edges == s
+        if s:
+            assert e.src.max() < n and e.dst.max() < n
+            assert e.src.min() >= 0 and e.dst.min() >= 0
+
+
+class TestSBM:
+    def test_labels_match_block_sizes(self):
+        edges, labels = stochastic_block_model([10, 20, 30], np.eye(3) * 0.2, seed=0)
+        assert labels.shape == (60,)
+        assert np.sum(labels == 0) == 10
+        assert np.sum(labels == 2) == 30
+
+    def test_zero_probability_gives_no_cross_edges(self):
+        B = np.array([[0.5, 0.0], [0.0, 0.5]])
+        edges, labels = stochastic_block_model([30, 30], B, seed=1)
+        cross = labels[edges.src] != labels[edges.dst]
+        assert not np.any(cross)
+
+    def test_undirected_output_is_symmetric(self):
+        edges, _ = stochastic_block_model([20, 20], np.full((2, 2), 0.2), seed=2)
+        assert is_symmetric(edges)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            stochastic_block_model([5, 5], np.full((2, 2), 1.5))
+
+    def test_bad_matrix_shape_rejected(self):
+        with pytest.raises(ValueError):
+            stochastic_block_model([5, 5], np.eye(3))
+
+    def test_planted_partition_within_density_higher(self):
+        edges, labels = planted_partition(200, 2, 0.2, 0.01, seed=3)
+        same = labels[edges.src] == labels[edges.dst]
+        assert same.mean() > 0.7
+
+
+class TestRMAT:
+    def test_sizes(self):
+        e = rmat(8, edge_factor=4, seed=0)
+        assert e.n_vertices == 256
+        assert e.n_edges == 4 * 256
+
+    def test_degree_distribution_is_skewed(self):
+        e = rmat(12, edge_factor=8, seed=0)
+        deg = e.out_degrees()
+        # Heavy-tailed: the max degree should dwarf the mean.
+        assert deg.max() > 5 * deg.mean()
+
+    def test_deterministic(self):
+        assert rmat(8, 4, seed=5) == rmat(8, 4, seed=5)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            rmat(0)
+        with pytest.raises(ValueError):
+            rmat(40)
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            rmat(5, a=0.9, b=0.2, c=0.2)
+
+
+class TestOtherGenerators:
+    def test_configuration_power_law_degrees_bounded(self):
+        e = configuration_power_law(500, exponent=2.5, min_degree=1, max_degree=20, seed=0)
+        assert e.out_degrees().max() <= 20
+
+    def test_configuration_invalid_exponent(self):
+        with pytest.raises(ValueError):
+            configuration_power_law(10, exponent=0.5)
+
+    def test_star_graph(self):
+        e = star_graph(4)
+        assert e.n_vertices == 5
+        assert e.n_edges == 8
+        assert e.out_degrees()[0] == 4
+
+    def test_path_graph(self):
+        e = path_graph(5)
+        assert e.n_edges == 8
+        assert is_symmetric(e)
+
+    def test_complete_graph(self):
+        e = complete_graph(4)
+        assert e.n_edges == 12
+        assert not e.has_self_loops()
+
+    def test_complete_graph_invalid(self):
+        with pytest.raises(ValueError):
+            complete_graph(0)

@@ -1,0 +1,77 @@
+"""Unit tests for repro.graph.io."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    EdgeList,
+    erdos_renyi,
+    load_npz,
+    read_snap_edgelist,
+    save_npz,
+    write_snap_edgelist,
+)
+
+
+class TestSnapFormat:
+    def test_roundtrip_unweighted(self, tmp_path, random_graph):
+        path = tmp_path / "graph.txt"
+        write_snap_edgelist(random_graph, path)
+        back = read_snap_edgelist(path, n_vertices=random_graph.n_vertices)
+        assert back == random_graph
+
+    def test_roundtrip_weighted(self, tmp_path, weighted_graph):
+        path = tmp_path / "weighted.txt"
+        write_snap_edgelist(weighted_graph, path)
+        back = read_snap_edgelist(path, weighted=True, n_vertices=weighted_graph.n_vertices)
+        np.testing.assert_allclose(back.effective_weights(), weighted_graph.effective_weights())
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "c.txt"
+        path.write_text("# a comment\n0 1\n# another\n1 2\n")
+        e = read_snap_edgelist(path)
+        assert e.n_edges == 2
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "b.txt"
+        path.write_text("0 1\n\n1 2\n")
+        assert read_snap_edgelist(path).n_edges == 2
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0\n")
+        with pytest.raises(ValueError, match="two columns"):
+            read_snap_edgelist(path)
+
+    def test_missing_weight_column_raises(self, tmp_path):
+        path = tmp_path / "noweight.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(ValueError, match="weight column"):
+            read_snap_edgelist(path, weighted=True)
+
+    def test_header_contains_counts(self, tmp_path, tiny_edges):
+        path = tmp_path / "h.txt"
+        write_snap_edgelist(tiny_edges, path)
+        head = path.read_text().splitlines()[0]
+        assert "Nodes: 5" in head and "Edges: 4" in head
+
+
+class TestNpzFormat:
+    def test_roundtrip_unweighted(self, tmp_path):
+        e = erdos_renyi(80, 200, seed=1)
+        path = tmp_path / "g.npz"
+        save_npz(e, path)
+        assert load_npz(path) == e
+
+    def test_roundtrip_weighted(self, tmp_path, weighted_graph):
+        path = tmp_path / "w.npz"
+        save_npz(weighted_graph, path)
+        back = load_npz(path)
+        assert back == weighted_graph
+        assert back.is_weighted
+
+    def test_isolated_vertices_preserved(self, tmp_path):
+        e = EdgeList([0], [1], n_vertices=10)
+        path = tmp_path / "iso.npz"
+        save_npz(e, path)
+        assert load_npz(path).n_vertices == 10

@@ -1,0 +1,87 @@
+"""Unit tests for repro.graph.properties."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import (
+    EdgeList,
+    connected_components,
+    degree_statistics,
+    density,
+    erdos_renyi,
+    is_symmetric,
+    n_connected_components,
+    summarize,
+    symmetrize,
+)
+
+
+class TestDegreeStatistics:
+    def test_tiny_graph(self, tiny_edges):
+        stats = degree_statistics(tiny_edges)
+        assert stats["max"] == 2
+        assert stats["mean"] == pytest.approx(4 / 5)
+
+    def test_empty_graph(self):
+        stats = degree_statistics(EdgeList([], []))
+        assert stats == {"min": 0.0, "mean": 0.0, "max": 0.0, "std": 0.0}
+
+
+class TestConnectedComponents:
+    def test_two_components(self):
+        e = EdgeList([0, 1, 3], [1, 2, 4], n_vertices=6)
+        labels = connected_components(e)
+        assert n_connected_components(e) == 3  # {0,1,2}, {3,4}, {5}
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4]
+        assert labels[5] not in (labels[0], labels[3])
+
+    def test_matches_networkx(self):
+        edges = erdos_renyi(150, 200, seed=9)
+        G = nx.Graph()
+        G.add_nodes_from(range(150))
+        G.add_edges_from(zip(edges.src.tolist(), edges.dst.tolist()))
+        assert n_connected_components(edges) == nx.number_connected_components(G)
+
+    def test_empty_graph(self):
+        assert n_connected_components(EdgeList([], [])) == 0
+
+
+class TestDensityAndSymmetry:
+    def test_density_complete(self):
+        from repro.graph import complete_graph
+
+        assert density(complete_graph(5)) == pytest.approx(1.0)
+
+    def test_density_trivial(self):
+        assert density(EdgeList([], [], n_vertices=1)) == 0.0
+
+    def test_is_symmetric_detects_asymmetry(self, tiny_edges):
+        assert not is_symmetric(tiny_edges)
+        assert is_symmetric(symmetrize(tiny_edges))
+
+    def test_is_symmetric_empty(self):
+        assert is_symmetric(EdgeList([], []))
+
+
+class TestSummary:
+    def test_summary_fields(self, random_graph):
+        s = summarize(random_graph)
+        assert s.n_vertices == random_graph.n_vertices
+        assert s.n_edges == random_graph.n_edges
+        assert s.max_degree == random_graph.out_degrees().max()
+        assert 0 < s.density < 1
+        d = s.as_dict()
+        assert set(d) == {
+            "n_vertices",
+            "n_edges",
+            "mean_degree",
+            "max_degree",
+            "n_components",
+            "density",
+        }
+
+    def test_summary_skip_components(self, random_graph):
+        s = summarize(random_graph, components=False)
+        assert s.n_components == -1

@@ -1,0 +1,204 @@
+"""Tests for label generators, propagation, k-means and community detection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.validation import UNKNOWN_LABEL
+from repro.eval.metrics import adjusted_rand_index, best_match_accuracy
+from repro.graph import EdgeList, path_graph, planted_partition
+from repro.labels import (
+    balanced_partial_labels,
+    kmeans,
+    kmeans_plusplus_init,
+    leiden_communities,
+    mask_labels,
+    modularity,
+    propagate_labels,
+    random_partial_labels,
+)
+
+
+class TestGenerators:
+    def test_random_partial_fraction(self):
+        y = random_partial_labels(1000, 10, 0.25, seed=0)
+        assert np.sum(y != UNKNOWN_LABEL) == 250
+        assert y.max() < 10
+
+    def test_random_partial_invalid(self):
+        with pytest.raises(ValueError):
+            random_partial_labels(10, 5, -0.1)
+        with pytest.raises(ValueError):
+            random_partial_labels(10, 0, 0.5)
+
+    def test_mask_labels_keeps_true_values(self):
+        truth = np.arange(10) % 3
+        y = mask_labels(truth, 0.5, seed=0)
+        observed = y != UNKNOWN_LABEL
+        np.testing.assert_array_equal(y[observed], truth[observed])
+        assert observed.sum() == 5
+
+    def test_mask_labels_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            mask_labels(np.zeros(5, dtype=int), 1.5)
+
+    def test_balanced_partial_labels_per_class(self):
+        truth = np.repeat([0, 1, 2], [50, 5, 2])
+        y = balanced_partial_labels(truth, per_class=3, seed=0)
+        assert np.sum(y == 0) == 3
+        assert np.sum(y == 1) == 3
+        assert np.sum(y == 2) == 2  # class smaller than per_class
+
+    def test_balanced_invalid(self):
+        with pytest.raises(ValueError):
+            balanced_partial_labels(np.zeros(3, dtype=int), 0)
+
+    @given(frac=st.floats(0.0, 1.0), n=st.integers(1, 300))
+    @settings(max_examples=30, deadline=None)
+    def test_mask_fraction_property(self, frac, n):
+        truth = np.zeros(n, dtype=np.int64)
+        y = mask_labels(truth, frac, seed=1)
+        assert np.sum(y != UNKNOWN_LABEL) == int(round(frac * n))
+
+
+class TestPropagation:
+    def test_propagates_along_path(self):
+        edges = path_graph(6)
+        y = np.full(6, UNKNOWN_LABEL)
+        y[0] = 0
+        out = propagate_labels(edges, y, n_classes=1)
+        assert np.all(out == 0)
+
+    def test_clamped_labels_unchanged(self):
+        edges = path_graph(4)
+        y = np.array([0, UNKNOWN_LABEL, UNKNOWN_LABEL, 1])
+        out = propagate_labels(edges, y, n_classes=2)
+        assert out[0] == 0 and out[3] == 1
+
+    def test_isolated_vertices_stay_unknown(self):
+        edges = EdgeList([0], [1], n_vertices=4)
+        y = np.array([0, UNKNOWN_LABEL, UNKNOWN_LABEL, UNKNOWN_LABEL])
+        out = propagate_labels(edges, y, n_classes=1)
+        assert out[2] == UNKNOWN_LABEL and out[3] == UNKNOWN_LABEL
+
+    def test_no_known_labels_is_noop(self):
+        edges = path_graph(3)
+        y = np.full(3, UNKNOWN_LABEL)
+        np.testing.assert_array_equal(propagate_labels(edges, y), y)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            propagate_labels(path_graph(3), np.array([0]))
+
+    def test_recovers_sbm_communities(self):
+        edges, truth = planted_partition(200, 2, 0.15, 0.01, seed=5)
+        y = mask_labels(truth, 0.1, seed=5)
+        out = propagate_labels(edges, y, n_classes=2)
+        known = out != UNKNOWN_LABEL
+        assert np.mean(out[known] == truth[known]) > 0.9
+
+
+class TestKMeans:
+    def test_separable_clusters_recovered(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(0, 0.1, (50, 2)), rng.normal(5, 0.1, (50, 2))])
+        truth = np.repeat([0, 1], 50)
+        result = kmeans(X, 2, seed=0)
+        assert best_match_accuracy(truth, result.labels) == 1.0
+        assert result.converged
+
+    def test_all_clusters_used(self):
+        rng = np.random.default_rng(1)
+        X = rng.standard_normal((100, 3))
+        result = kmeans(X, 5, seed=1)
+        assert np.unique(result.labels).size == 5
+
+    def test_more_clusters_than_points(self):
+        X = np.array([[0.0], [1.0]])
+        result = kmeans(X, 10, seed=0)
+        assert result.labels.shape == (2,)
+
+    def test_empty_input(self):
+        result = kmeans(np.zeros((0, 4)), 3)
+        assert result.labels.size == 0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((5, 2)), 0)
+        with pytest.raises(ValueError):
+            kmeans(np.zeros(5), 2)
+
+    def test_plusplus_init_shape(self):
+        rng = np.random.default_rng(2)
+        X = rng.standard_normal((30, 4))
+        c = kmeans_plusplus_init(X, 3, rng)
+        assert c.shape == (3, 4)
+
+    def test_deterministic_for_seed(self):
+        rng = np.random.default_rng(3)
+        X = rng.standard_normal((60, 2))
+        a = kmeans(X, 3, seed=7).labels
+        b = kmeans(X, 3, seed=7).labels
+        np.testing.assert_array_equal(a, b)
+
+    def test_explicit_init(self):
+        X = np.array([[0.0], [0.1], [5.0], [5.1]])
+        result = kmeans(X, 2, init=np.array([[0.0], [5.0]]))
+        assert best_match_accuracy(np.array([0, 0, 1, 1]), result.labels) == 1.0
+
+    def test_bad_init_shape(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((4, 2)), 2, init=np.zeros((3, 2)))
+
+
+class TestCommunities:
+    def test_modularity_of_perfect_split(self):
+        edges, truth = planted_partition(100, 2, 0.3, 0.0, seed=1)
+        q = modularity(edges, truth)
+        assert q > 0.3
+
+    def test_modularity_of_single_community_is_zero(self):
+        edges, _ = planted_partition(50, 2, 0.2, 0.2, seed=2)
+        assert modularity(edges, np.zeros(50, dtype=np.int64)) == pytest.approx(0.0)
+
+    def test_modularity_empty_graph(self):
+        assert modularity(EdgeList([], [], n_vertices=3), np.zeros(3, dtype=np.int64)) == 0.0
+
+    def test_leiden_recovers_planted_partition(self):
+        edges, truth = planted_partition(300, 3, 0.15, 0.005, seed=4)
+        result = leiden_communities(edges, seed=0)
+        assert result.modularity > 0.3
+        assert adjusted_rand_index(truth, result.labels) > 0.6
+
+    def test_leiden_labels_are_contiguous(self):
+        edges, _ = planted_partition(120, 2, 0.2, 0.02, seed=6)
+        result = leiden_communities(edges, seed=1)
+        labels = result.labels
+        assert labels.min() == 0
+        assert np.unique(labels).size == result.n_communities
+
+    def test_leiden_communities_internally_connected(self):
+        from repro.graph.builders import subgraph
+        from repro.graph.properties import n_connected_components
+        from repro.graph import symmetrize
+
+        edges, _ = planted_partition(150, 3, 0.2, 0.01, seed=7)
+        result = leiden_communities(edges, seed=2, ensure_connected=True)
+        sym = symmetrize(edges)
+        for c in np.unique(result.labels):
+            members = np.flatnonzero(result.labels == c)
+            if members.size <= 1:
+                continue
+            sub, _ = subgraph(sym, members)
+            assert n_connected_components(sub) == 1
+
+    def test_leiden_as_gee_label_source(self):
+        """The paper's §II use case: Y derived from community detection."""
+        from repro.core import gee_vectorized
+
+        edges, truth = planted_partition(200, 2, 0.2, 0.01, seed=9)
+        communities = leiden_communities(edges, seed=0)
+        res = gee_vectorized(edges, communities.labels, communities.n_communities)
+        assert res.embedding.shape == (200, communities.n_communities)
+        assert res.embedding.sum() > 0

@@ -1,0 +1,152 @@
+"""Tests for edge_map / vertex_map / engine across backends."""
+
+import numpy as np
+import pytest
+
+from repro.graph import erdos_renyi
+from repro.ligra import (
+    EdgeMapFunction,
+    LigraEngine,
+    VertexSubset,
+    edge_map_dense_serial,
+    edge_map_sparse,
+)
+from repro.ligra.backends import AccumulatingEdgeMapFunction, make_backend
+from repro.ligra.vertex_map import VertexMapFunction, vertex_map
+
+
+class DegreeCount(AccumulatingEdgeMapFunction):
+    """Counts, per destination, the weighted in-degree — a pure accumulation."""
+
+    def __init__(self, n):
+        self.counts = np.zeros(n, dtype=np.float64)
+
+    def output_arrays(self):
+        return {"counts": self.counts}
+
+    def update_batch_into(self, outputs, srcs, dsts, weights):
+        np.add.at(outputs["counts"], dsts, weights)
+        return None
+
+
+class MarkLargeTargets(EdgeMapFunction):
+    """Scalar-only function: flags destinations with id above a threshold."""
+
+    def __init__(self, threshold):
+        self.threshold = threshold
+        self.hits = []
+
+    def update(self, u, v, w):
+        if v >= self.threshold:
+            self.hits.append((u, v))
+            return True
+        return False
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(120, 700, seed=21).to_csr()
+
+
+class TestSerialTraversals:
+    def test_dense_visits_every_edge(self, graph):
+        fn = DegreeCount(graph.n_vertices)
+        edge_map_dense_serial(graph, VertexSubset.full(graph.n_vertices), fn)
+        assert fn.counts.sum() == pytest.approx(graph.n_edges)
+
+    def test_sparse_only_visits_frontier_edges(self, graph):
+        fn = DegreeCount(graph.n_vertices)
+        frontier = VertexSubset(graph.n_vertices, indices=np.array([0, 1, 2]))
+        edge_map_sparse(graph, frontier, fn)
+        expected = sum(graph.out_degree(u) for u in (0, 1, 2))
+        assert fn.counts.sum() == pytest.approx(expected)
+
+    def test_output_frontier_contains_fired_destinations(self, graph):
+        fn = MarkLargeTargets(threshold=60)
+        out = edge_map_dense_serial(graph, VertexSubset.full(graph.n_vertices), fn)
+        assert all(v >= 60 for v in out)
+
+
+class TestBackendsAgree:
+    @pytest.mark.parametrize("backend", ["serial", "vectorized", "threads", "processes"])
+    def test_degree_count_identical(self, graph, backend):
+        reference = DegreeCount(graph.n_vertices)
+        edge_map_dense_serial(graph, VertexSubset.full(graph.n_vertices), reference)
+
+        fn = DegreeCount(graph.n_vertices)
+        with LigraEngine(graph, backend=backend, n_workers=4) as engine:
+            engine.edge_map(engine.full_frontier(), fn, mode="dense")
+        np.testing.assert_allclose(fn.counts, reference.counts)
+
+    def test_process_backend_falls_back_for_non_accumulating(self, graph):
+        fn = MarkLargeTargets(threshold=200)  # never fires
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            with LigraEngine(graph, backend="processes", n_workers=2) as engine:
+                out = engine.edge_map(engine.full_frontier(), fn, mode="dense")
+        assert len(out) == 0
+
+
+class TestEngine:
+    def test_auto_mode_switches(self, graph):
+        engine = LigraEngine(graph)
+        fn = DegreeCount(graph.n_vertices)
+        # Tiny frontier -> sparse; should not raise and should count few edges.
+        engine.edge_map(VertexSubset.single(graph.n_vertices, 0), fn, mode="auto")
+        assert fn.counts.sum() == pytest.approx(graph.out_degree(0))
+
+    def test_mismatched_frontier_rejected(self, graph):
+        engine = LigraEngine(graph)
+        with pytest.raises(ValueError):
+            engine.edge_map(VertexSubset.full(graph.n_vertices + 1), DegreeCount(3))
+
+    def test_invalid_mode_rejected(self, graph):
+        engine = LigraEngine(graph)
+        with pytest.raises(ValueError):
+            engine.edge_map(engine.full_frontier(), DegreeCount(graph.n_vertices), mode="both")
+
+    def test_engine_from_edgelist(self):
+        edges = erdos_renyi(30, 90, seed=1)
+        engine = LigraEngine(edges)
+        assert engine.n_vertices == 30
+        assert engine.n_edges == 90
+
+    def test_unknown_backend_name(self, graph):
+        with pytest.raises(ValueError):
+            make_backend("gpu")
+
+    def test_bad_dense_threshold(self, graph):
+        with pytest.raises(ValueError):
+            LigraEngine(graph, dense_threshold=0.0)
+
+
+class TestVertexMap:
+    def test_callable_filtering(self):
+        frontier = VertexSubset.from_iterable(10, range(10))
+        out = vertex_map(frontier, lambda v: v % 2 == 0)
+        assert sorted(out) == [0, 2, 4, 6, 8]
+
+    def test_batch_hook(self):
+        class Evens(VertexMapFunction):
+            def apply(self, v):  # pragma: no cover - batch used instead
+                raise AssertionError("batch hook should be used")
+
+            def apply_batch(self, vertices):
+                return vertices % 2 == 0
+
+        out = vertex_map(VertexSubset.from_iterable(10, range(10)), Evens())
+        assert sorted(out) == [0, 2, 4, 6, 8]
+
+    def test_empty_frontier(self):
+        out = vertex_map(VertexSubset.empty(5), lambda v: True)
+        assert len(out) == 0
+
+    def test_bad_batch_shape_raises(self):
+        class Broken(VertexMapFunction):
+            def apply(self, v):
+                return True
+
+            def apply_batch(self, vertices):
+                return np.ones(vertices.size + 1, dtype=bool)
+
+        with pytest.raises(ValueError):
+            vertex_map(VertexSubset.from_iterable(4, range(4)), Broken())
