@@ -9,7 +9,7 @@ striping, on the same graph and labels.
 
 import pytest
 
-from repro.core import gee_ligra
+from repro.backends import get_backend
 
 from bench_config import N_CLASSES
 
@@ -19,31 +19,24 @@ WORKERS = 4
 @pytest.mark.benchmark(group="ablation-atomics")
 class TestAtomicsOnOff:
     def test_atomics_on(self, benchmark, twitch_sim):
-        edges, csr, labels, _ = twitch_sim
+        graph, labels, _ = twitch_sim
+        backend = get_backend("ligra-threads", n_workers=WORKERS, atomic=True)
         benchmark.pedantic(
-            lambda: gee_ligra(
-                csr, labels, N_CLASSES, backend="threads", n_workers=WORKERS, atomic=True
-            ),
-            rounds=3,
-            iterations=1,
+            lambda: backend.embed(graph, labels, N_CLASSES), rounds=3, iterations=1
         )
 
     def test_atomics_off_unsafe(self, benchmark, twitch_sim):
-        edges, csr, labels, _ = twitch_sim
+        graph, labels, _ = twitch_sim
+        backend = get_backend("ligra-threads", n_workers=WORKERS, atomic=False)
         benchmark.pedantic(
-            lambda: gee_ligra(
-                csr, labels, N_CLASSES, backend="threads", n_workers=WORKERS, atomic=False
-            ),
-            rounds=3,
-            iterations=1,
+            lambda: backend.embed(graph, labels, N_CLASSES), rounds=3, iterations=1
         )
 
     def test_serial_reference_no_atomics_needed(self, benchmark, twitch_sim):
         """The single-worker schedule needs no synchronisation at all and
         bounds how much the locks could possibly cost."""
-        edges, csr, labels, _ = twitch_sim
+        graph, labels, _ = twitch_sim
+        backend = get_backend("ligra-serial", atomic=False)
         benchmark.pedantic(
-            lambda: gee_ligra(csr, labels, N_CLASSES, backend="serial", atomic=False),
-            rounds=3,
-            iterations=1,
+            lambda: backend.embed(graph, labels, N_CLASSES), rounds=3, iterations=1
         )

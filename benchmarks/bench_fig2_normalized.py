@@ -10,7 +10,7 @@ EXPERIMENTS.md.
 
 import pytest
 
-from repro.core import gee_ligra, gee_parallel, gee_python, gee_vectorized
+from repro.backends import get_backend
 
 from bench_config import N_CLASSES
 
@@ -25,18 +25,24 @@ class TestFigure2:
         its >30x gap versus the compiled baseline is visible at any size
         because both scale linearly in the edge count.
         """
-        edges, csr, labels, _ = twitch_sim
-        benchmark.pedantic(lambda: gee_python(edges, labels, N_CLASSES), rounds=2, iterations=1)
+        graph, labels, _ = twitch_sim
+        backend = get_backend("python")
+        benchmark.pedantic(
+            lambda: backend.embed(graph, labels, N_CLASSES), rounds=2, iterations=1
+        )
 
     def test_numba_serial_standin(self, benchmark, friendster_sim):
-        edges, csr, labels, _ = friendster_sim
-        benchmark(lambda: gee_vectorized(edges, labels, N_CLASSES))
+        graph, labels, _ = friendster_sim
+        backend = get_backend("vectorized")
+        benchmark(lambda: backend.embed(graph, labels, N_CLASSES))
 
     def test_ligra_serial(self, benchmark, friendster_sim):
-        edges, csr, labels, _ = friendster_sim
-        benchmark(lambda: gee_ligra(csr, labels, N_CLASSES, backend="vectorized"))
+        graph, labels, _ = friendster_sim
+        backend = get_backend("ligra-vectorized")
+        benchmark(lambda: backend.embed(graph, labels, N_CLASSES))
 
     def test_ligra_parallel(self, benchmark, friendster_sim):
-        edges, csr, labels, _ = friendster_sim
-        gee_parallel(csr, labels, N_CLASSES)  # warm pool and shared-graph cache
-        benchmark(lambda: gee_parallel(csr, labels, N_CLASSES))
+        graph, labels, _ = friendster_sim
+        backend = get_backend("parallel")
+        backend.embed(graph, labels, N_CLASSES)  # warm pool and shared-graph cache
+        benchmark(lambda: backend.embed(graph, labels, N_CLASSES))

@@ -12,7 +12,7 @@ import os
 
 import pytest
 
-from repro.core import gee_parallel
+from repro.backends import get_backend
 from repro.eval.machine_model import PAPER_MACHINE
 
 from bench_config import N_CLASSES
@@ -24,10 +24,11 @@ WORKER_COUNTS = [w for w in (1, 2, 4, 8, 16, 24) if w <= _AVAILABLE]
 @pytest.mark.benchmark(group="figure3-strong-scaling")
 @pytest.mark.parametrize("n_workers", WORKER_COUNTS)
 def test_gee_parallel_scaling(benchmark, friendster_sim, n_workers):
-    edges, csr, labels, _ = friendster_sim
-    gee_parallel(csr, labels, N_CLASSES, n_workers=n_workers)  # warm pool/cache
+    graph, labels, _ = friendster_sim
+    backend = get_backend("parallel", n_workers=n_workers)
+    backend.embed(graph, labels, N_CLASSES)  # warm pool/cache
     benchmark.extra_info["n_workers"] = n_workers
-    benchmark(lambda: gee_parallel(csr, labels, N_CLASSES, n_workers=n_workers))
+    benchmark(lambda: backend.embed(graph, labels, N_CLASSES))
 
 
 @pytest.mark.benchmark(group="figure3-machine-model")

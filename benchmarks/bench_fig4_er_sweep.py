@@ -9,7 +9,8 @@ and can be extended through the ``repro.eval.experiments figure4`` CLI.
 
 import pytest
 
-from repro.core import gee_ligra, gee_parallel, gee_python, gee_vectorized
+from repro.backends import get_backend
+from repro.graph.facade import Graph
 from repro.graph.datasets import generate_labels
 from repro.graph.generators import erdos_renyi
 
@@ -27,9 +28,9 @@ def _er_case(exponent: int):
     labels = generate_labels(
         edges.n_vertices, N_CLASSES, labelled_fraction=LABELLED_FRACTION, seed=0
     )
-    csr = edges.to_csr()
-    csr.in_indptr
-    return edges, csr, labels
+    graph = Graph.coerce(edges)
+    graph.csr.in_indptr
+    return graph, labels
 
 
 @pytest.fixture(scope="module")
@@ -40,31 +41,37 @@ def er_cases():
 @pytest.mark.benchmark(group="figure4-er-sweep")
 @pytest.mark.parametrize("exponent", PYTHON_EXPONENTS)
 def test_gee_python(benchmark, er_cases, exponent):
-    edges, csr, labels = er_cases[exponent]
+    graph, labels = er_cases[exponent]
+    backend = get_backend("python")
     benchmark.extra_info["log2_edges"] = exponent
-    benchmark.pedantic(lambda: gee_python(edges, labels, N_CLASSES), rounds=2, iterations=1)
+    benchmark.pedantic(
+        lambda: backend.embed(graph, labels, N_CLASSES), rounds=2, iterations=1
+    )
 
 
 @pytest.mark.benchmark(group="figure4-er-sweep")
 @pytest.mark.parametrize("exponent", EXPONENTS)
 def test_numba_serial_standin(benchmark, er_cases, exponent):
-    edges, csr, labels = er_cases[exponent]
+    graph, labels = er_cases[exponent]
+    backend = get_backend("vectorized")
     benchmark.extra_info["log2_edges"] = exponent
-    benchmark(lambda: gee_vectorized(edges, labels, N_CLASSES))
+    benchmark(lambda: backend.embed(graph, labels, N_CLASSES))
 
 
 @pytest.mark.benchmark(group="figure4-er-sweep")
 @pytest.mark.parametrize("exponent", EXPONENTS)
 def test_ligra_serial(benchmark, er_cases, exponent):
-    edges, csr, labels = er_cases[exponent]
+    graph, labels = er_cases[exponent]
+    backend = get_backend("ligra-vectorized")
     benchmark.extra_info["log2_edges"] = exponent
-    benchmark(lambda: gee_ligra(csr, labels, N_CLASSES, backend="vectorized"))
+    benchmark(lambda: backend.embed(graph, labels, N_CLASSES))
 
 
 @pytest.mark.benchmark(group="figure4-er-sweep")
 @pytest.mark.parametrize("exponent", EXPONENTS)
 def test_ligra_parallel(benchmark, er_cases, exponent):
-    edges, csr, labels = er_cases[exponent]
-    gee_parallel(csr, labels, N_CLASSES)  # warm pool / graph cache
+    graph, labels = er_cases[exponent]
+    backend = get_backend("parallel")
+    backend.embed(graph, labels, N_CLASSES)  # warm pool / graph cache
     benchmark.extra_info["log2_edges"] = exponent
-    benchmark(lambda: gee_parallel(csr, labels, N_CLASSES))
+    benchmark(lambda: backend.embed(graph, labels, N_CLASSES))

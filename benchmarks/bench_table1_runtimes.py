@@ -2,9 +2,10 @@
 
 The paper reports GEE-Python, Numba-serial, GEE-Ligra serial and GEE-Ligra
 parallel on six SNAP graphs (6.8M – 1.8B edges), K = 50, 10% random labels.
-Here each implementation runs on the scaled stand-ins; pytest-benchmark
-groups the results per graph so the relative ordering (the actual claim of
-Table I) can be read off directly.
+Here each registered backend (``repro.backends``) runs on the scaled
+stand-ins through the shared ``Graph`` facade; pytest-benchmark groups the
+results per graph so the relative ordering (the actual claim of Table I)
+can be read off directly.
 
 The pure-Python reference is benchmarked only on the two smaller graphs to
 keep the suite's runtime reasonable — its linear scaling is established by
@@ -13,62 +14,61 @@ keep the suite's runtime reasonable — its linear scaling is established by
 
 import pytest
 
-from repro.core import gee_ligra, gee_parallel, gee_python, gee_vectorized
+from repro.backends import get_backend
 
 from bench_config import N_CLASSES
+
+
+def _bench_backend(benchmark, case, backend_name, **backend_options):
+    graph, labels, _ = case
+    backend = get_backend(backend_name, **backend_options)
+    backend.embed(graph, labels, N_CLASSES)  # warm pools / shared-memory caches
+    benchmark(lambda: backend.embed(graph, labels, N_CLASSES))
 
 
 @pytest.mark.benchmark(group="table1-twitch")
 class TestTwitch:
     def test_gee_python(self, benchmark, twitch_sim):
-        edges, csr, labels, _ = twitch_sim
-        benchmark(lambda: gee_python(edges, labels, N_CLASSES))
+        graph, labels, _ = twitch_sim
+        backend = get_backend("python")
+        benchmark(lambda: backend.embed(graph, labels, N_CLASSES))
 
     def test_numba_serial_standin(self, benchmark, twitch_sim):
-        edges, csr, labels, _ = twitch_sim
-        benchmark(lambda: gee_vectorized(edges, labels, N_CLASSES))
+        _bench_backend(benchmark, twitch_sim, "vectorized")
 
     def test_ligra_serial(self, benchmark, twitch_sim):
-        edges, csr, labels, _ = twitch_sim
-        benchmark(lambda: gee_ligra(csr, labels, N_CLASSES, backend="vectorized"))
+        _bench_backend(benchmark, twitch_sim, "ligra-vectorized")
 
     def test_ligra_parallel(self, benchmark, twitch_sim):
-        edges, csr, labels, _ = twitch_sim
-        gee_parallel(csr, labels, N_CLASSES)  # warm the worker pool / graph cache
-        benchmark(lambda: gee_parallel(csr, labels, N_CLASSES))
+        _bench_backend(benchmark, twitch_sim, "parallel")
 
 
 @pytest.mark.benchmark(group="table1-orkut")
 class TestOrkut:
     def test_gee_python(self, benchmark, orkut_sim):
-        edges, csr, labels, _ = orkut_sim
-        benchmark.pedantic(lambda: gee_python(edges, labels, N_CLASSES), rounds=1, iterations=1)
+        graph, labels, _ = orkut_sim
+        backend = get_backend("python")
+        benchmark.pedantic(
+            lambda: backend.embed(graph, labels, N_CLASSES), rounds=1, iterations=1
+        )
 
     def test_numba_serial_standin(self, benchmark, orkut_sim):
-        edges, csr, labels, _ = orkut_sim
-        benchmark(lambda: gee_vectorized(edges, labels, N_CLASSES))
+        _bench_backend(benchmark, orkut_sim, "vectorized")
 
     def test_ligra_serial(self, benchmark, orkut_sim):
-        edges, csr, labels, _ = orkut_sim
-        benchmark(lambda: gee_ligra(csr, labels, N_CLASSES, backend="vectorized"))
+        _bench_backend(benchmark, orkut_sim, "ligra-vectorized")
 
     def test_ligra_parallel(self, benchmark, orkut_sim):
-        edges, csr, labels, _ = orkut_sim
-        gee_parallel(csr, labels, N_CLASSES)
-        benchmark(lambda: gee_parallel(csr, labels, N_CLASSES))
+        _bench_backend(benchmark, orkut_sim, "parallel")
 
 
 @pytest.mark.benchmark(group="table1-friendster")
 class TestFriendster:
     def test_numba_serial_standin(self, benchmark, friendster_sim):
-        edges, csr, labels, _ = friendster_sim
-        benchmark(lambda: gee_vectorized(edges, labels, N_CLASSES))
+        _bench_backend(benchmark, friendster_sim, "vectorized")
 
     def test_ligra_serial(self, benchmark, friendster_sim):
-        edges, csr, labels, _ = friendster_sim
-        benchmark(lambda: gee_ligra(csr, labels, N_CLASSES, backend="vectorized"))
+        _bench_backend(benchmark, friendster_sim, "ligra-vectorized")
 
     def test_ligra_parallel(self, benchmark, friendster_sim):
-        edges, csr, labels, _ = friendster_sim
-        gee_parallel(csr, labels, N_CLASSES)
-        benchmark(lambda: gee_parallel(csr, labels, N_CLASSES))
+        _bench_backend(benchmark, friendster_sim, "parallel")

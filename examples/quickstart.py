@@ -1,13 +1,19 @@
 #!/usr/bin/env python
 """Quickstart: embed a graph with One-Hot Graph Encoder Embedding.
 
-This walks through the smallest end-to-end use of the library:
+This walks through the end-to-end use of the redesigned API:
 
-1. generate a graph with planted community structure,
+1. generate a graph with planted community structure and wrap it in the
+   ``Graph`` facade (any graph-like input works: edge lists, ``(s, 2|3)``
+   arrays, CSR structures, ``scipy.sparse`` adjacencies),
 2. reveal labels for 10% of the vertices (the paper's protocol),
-3. embed the graph with each implementation (reference, vectorised,
-   Ligra-engine, process-parallel) and confirm they agree,
-4. classify the unlabelled vertices from the embedding.
+3. embed the graph with every backend in the ``repro.backends`` registry
+   and confirm they agree — the facade's cached CSR view is built once and
+   shared by all of them,
+4. classify the unlabelled vertices from the embedding,
+5. embed *out-of-sample* vertices with ``transform`` (no refit), and
+6. stream edge batches through ``partial_fit`` and check the online
+   embedding matches the batch one.
 
 Run with::
 
@@ -18,18 +24,19 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import GraphEncoderEmbedding
-from repro.core import gee_ligra, gee_parallel, gee_python, gee_vectorized
+from repro import Graph, GraphEncoderEmbedding
+from repro.backends import backend_capabilities, get_backend, list_backends
 from repro.core.gee_parallel import shutdown_workers
 from repro.eval.metrics import accuracy
-from repro.graph import planted_partition, summarize
+from repro.graph import EdgeList, planted_partition, summarize
 from repro.labels import mask_labels
 
 
 def main() -> None:
-    # 1. A 3-community planted-partition graph (within-block edge probability
-    #    10x the between-block probability).
+    # 1. A 3-community planted-partition graph, wrapped in the Graph facade
+    #    so every backend below shares one cached CSR adjacency.
     edges, truth = planted_partition(1500, 3, 0.05, 0.005, seed=0)
+    graph = Graph.coerce(edges)
     info = summarize(edges)
     print("graph:", info.n_vertices, "vertices,", info.n_edges, "directed edges")
 
@@ -37,26 +44,46 @@ def main() -> None:
     labels = mask_labels(truth, observed_fraction=0.10, seed=0)
     print("labelled vertices:", int(np.sum(labels != -1)))
 
-    # 3. Embed with every implementation and check they agree.
-    results = {
-        "gee-python (Algorithm 1 reference)": gee_python(edges, labels),
-        "gee-vectorized (compiled-serial stand-in)": gee_vectorized(edges, labels),
-        "gee-ligra (engine, vectorized backend)": gee_ligra(edges, labels, backend="vectorized"),
-        "gee-parallel (process shared-memory)": gee_parallel(edges, labels, n_workers=4),
-    }
-    reference = results["gee-python (Algorithm 1 reference)"].embedding
-    print("\nruntime and agreement with the reference implementation:")
-    for name, result in results.items():
+    # 3. Embed with every registered backend and check they agree.
+    reference = get_backend("python").embed(graph, labels).embedding
+    print("\nregistered backends (runtime and agreement with the reference):")
+    for name in list_backends():
+        caps = backend_capabilities(name)
+        backend = get_backend(name, n_workers=2 if caps.supports_n_workers else None)
+        result = backend.embed(graph, labels)
         delta = float(np.abs(result.embedding - reference).max())
-        print(f"  {name:45s} {result.total_seconds*1e3:8.1f} ms   max|dZ| = {delta:.2e}")
+        tag = "parallel" if caps.parallel else "serial  "
+        print(
+            f"  {name:18s} [{tag}] {result.total_seconds*1e3:8.1f} ms   "
+            f"max|dZ| = {delta:.2e}"
+        )
 
-    # 4. Use the high-level estimator API for classification of the
-    #    unlabelled vertices (nearest class centroid in the embedding).
-    model = GraphEncoderEmbedding(method="vectorized", normalize=True).fit(edges, labels)
+    # 4. The estimator API: nearest-class-centroid classification of the
+    #    unlabelled vertices.
+    model = GraphEncoderEmbedding(method="vectorized", normalize=True).fit(graph, labels)
     predictions = model.predict()
     unlabelled = labels == -1
     acc = accuracy(truth[unlabelled], predictions[unlabelled])
     print(f"\nclassification accuracy on the {int(unlabelled.sum())} unlabelled vertices: {acc:.3f}")
+
+    # 5. Out-of-sample vertices: three new vertices attach to the graph and
+    #    are embedded from their incident edges alone — no refit.
+    n = graph.n_vertices
+    new_src = np.array([n, n, n + 1, n + 2, n + 2])
+    new_dst = np.array([0, 1, 510, 1001, 1002])
+    new_edges = EdgeList(new_src, new_dst, n_vertices=n + 3)
+    Z_new = model.transform(new_edges)
+    print("out-of-sample embedding shape:", Z_new.shape)
+
+    # 6. Streaming: feed the same edge list in 10 batches; the online
+    #    embedding matches the batch fit up to floating-point rounding.
+    stream = GraphEncoderEmbedding(3)
+    for i, ids in enumerate(np.array_split(np.arange(edges.n_edges), 10)):
+        batch = EdgeList(edges.src[ids], edges.dst[ids], None, edges.n_vertices)
+        stream.partial_fit(batch, labels=labels if i == 0 else None)
+    batch_fit = GraphEncoderEmbedding(method="vectorized").fit(graph, labels)
+    drift = float(np.abs(stream.embedding_ - batch_fit.embedding_).max())
+    print(f"streamed vs batch embedding: max|dZ| = {drift:.2e}")
 
     shutdown_workers()
 

@@ -15,10 +15,16 @@ Quick start::
 
     edges, truth = planted_partition(1000, 5, 0.05, 0.005, seed=0)
     y = mask_labels(truth, 0.1, seed=0)
-    model = GraphEncoderEmbedding(method="parallel").fit(edges, y)
+    model = GraphEncoderEmbedding(method="parallel", n_workers=4).fit(edges, y)
     Z = model.embedding_
+
+Execution strategies live in the :mod:`repro.backends` registry
+(``list_backends()`` / ``get_backend()``); graph inputs of any shape
+(edge arrays, CSR, ``scipy.sparse``) are accepted everywhere through the
+:class:`repro.graph.Graph` facade.
 """
 
+from .backends import GEEBackend, get_backend, list_backends, register_backend
 from .core import (
     EmbeddingResult,
     GraphEncoderEmbedding,
@@ -29,10 +35,10 @@ from .core import (
     gee_unsupervised,
     gee_vectorized,
 )
-from .graph import CSRGraph, EdgeList
+from .graph import CSRGraph, EdgeList, Graph, as_graph
 from .ligra import LigraEngine, VertexSubset
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "GraphEncoderEmbedding",
@@ -45,6 +51,12 @@ __all__ = [
     "gee_unsupervised",
     "EdgeList",
     "CSRGraph",
+    "Graph",
+    "as_graph",
+    "GEEBackend",
+    "get_backend",
+    "list_backends",
+    "register_backend",
     "LigraEngine",
     "VertexSubset",
     "__version__",

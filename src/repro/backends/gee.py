@@ -1,0 +1,167 @@
+"""Registered GEE execution backends.
+
+Each class is a thin, capability-declaring wrapper over one of the
+functional implementations in :mod:`repro.core`; the Ligra-family backends
+reuse the :mod:`repro.ligra.backends` execution classes underneath (through
+:func:`~repro.core.gee_ligra.gee_ligra` → ``LigraEngine`` →
+``make_backend``) rather than duplicating their scheduling logic.
+
+The canonical names, and the Table I columns they correspond to:
+
+================== ============================================= ===========
+name               implementation                                paper column
+================== ============================================= ===========
+python             interpreted reference loop (Algorithm 1)      GEE-Python
+vectorized         NumPy scatter-add edge pass                   Numba serial
+ligra-serial       engine, one edge list at a time               GEE-Ligra S
+ligra-vectorized   engine, flat NumPy slabs (alias: ``ligra``)   GEE-Ligra S
+ligra-threads      engine, degree-balanced threads + atomics     —
+ligra-processes    engine, forked workers + reduction            GEE-Ligra P
+                   (alias: ``ligra-parallel``)
+parallel           owner-computes rows over shared memory        GEE-Ligra P
+================== ============================================= ===========
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.gee_ligra import gee_ligra
+from ..core.gee_parallel import gee_parallel
+from ..core.gee_python import gee_python
+from ..core.gee_vectorized import gee_vectorized
+from ..graph.facade import Graph
+from .registry import BackendCapabilities, GEEBackend, register_backend
+
+__all__ = [
+    "PythonLoopBackend",
+    "VectorizedGEEBackend",
+    "LigraSerialGEEBackend",
+    "LigraVectorizedGEEBackend",
+    "LigraThreadsGEEBackend",
+    "LigraProcessesGEEBackend",
+    "ProcessParallelGEEBackend",
+]
+
+
+@register_backend(
+    "python",
+    capabilities=BackendCapabilities(
+        description="interpreted reference edge loop (Algorithm 1)",
+    ),
+)
+class PythonLoopBackend(GEEBackend):
+    """The paper's GEE-Python baseline: a pure-Python loop over edges."""
+
+    def _embed(self, graph: Graph, labels: np.ndarray, n_classes: Optional[int]):
+        return gee_python(graph.edges, labels, n_classes)
+
+
+@register_backend(
+    "vectorized",
+    capabilities=BackendCapabilities(
+        description="single-core NumPy scatter-add edge pass (compiled-serial stand-in)",
+    ),
+)
+class VectorizedGEEBackend(GEEBackend):
+    """Fully vectorised single-core edge pass (the Numba-serial stand-in)."""
+
+    _OPTIONS = {"chunk_edges": None}
+
+    def _embed(self, graph: Graph, labels: np.ndarray, n_classes: Optional[int]):
+        return gee_vectorized(
+            graph.edges, labels, n_classes, chunk_edges=self.chunk_edges
+        )
+
+
+class _LigraGEEBackend(GEEBackend):
+    """Shared plumbing for the Ligra-engine family.
+
+    ``engine_backend`` names the :mod:`repro.ligra.backends` execution class
+    the engine schedules the dense edge map on; the graph's cached CSR view
+    feeds the engine directly, so backend sweeps over one ``Graph`` build
+    the adjacency once.
+    """
+
+    engine_backend = "serial"
+    _OPTIONS = {"atomic": True}
+
+    def _embed(self, graph: Graph, labels: np.ndarray, n_classes: Optional[int]):
+        return gee_ligra(
+            graph.csr,
+            labels,
+            n_classes,
+            backend=self.engine_backend,
+            n_workers=self.n_workers,
+            atomic=self.atomic,
+        )
+
+
+@register_backend(
+    "ligra-serial",
+    capabilities=BackendCapabilities(
+        description="Ligra engine, serial dense traversal (GEE-Ligra Serial)",
+    ),
+)
+class LigraSerialGEEBackend(_LigraGEEBackend):
+    engine_backend = "serial"
+
+
+@register_backend(
+    "ligra-vectorized",
+    aliases=("ligra",),
+    capabilities=BackendCapabilities(
+        description="Ligra engine, vectorised dense traversal",
+    ),
+)
+class LigraVectorizedGEEBackend(_LigraGEEBackend):
+    engine_backend = "vectorized"
+
+
+@register_backend(
+    "ligra-threads",
+    capabilities=BackendCapabilities(
+        supports_n_workers=True,
+        parallel=True,
+        deterministic=False,
+        description="Ligra engine, degree-balanced threads with lock-striped writeAdd",
+    ),
+)
+class LigraThreadsGEEBackend(_LigraGEEBackend):
+    engine_backend = "threads"
+
+
+@register_backend(
+    "ligra-processes",
+    aliases=("ligra-parallel",),
+    capabilities=BackendCapabilities(
+        supports_n_workers=True,
+        parallel=True,
+        deterministic=False,
+        description="Ligra engine, forked workers with private partials + reduction",
+    ),
+)
+class LigraProcessesGEEBackend(_LigraGEEBackend):
+    engine_backend = "processes"
+
+
+@register_backend(
+    "parallel",
+    capabilities=BackendCapabilities(
+        supports_n_workers=True,
+        parallel=True,
+        deterministic=True,
+        description="owner-computes row partition over a persistent fork pool",
+    ),
+)
+class ProcessParallelGEEBackend(GEEBackend):
+    """The strong-scaling kernel: owner-computes rows, shared-memory output.
+
+    Deterministic despite being parallel — every embedding row is computed
+    start-to-finish by exactly one worker in a fixed traversal order.
+    """
+
+    def _embed(self, graph: Graph, labels: np.ndarray, n_classes: Optional[int]):
+        return gee_parallel(graph, labels, n_classes, n_workers=self.n_workers)

@@ -1,0 +1,232 @@
+"""The execution-backend registry.
+
+Every way of running the GEE edge pass (interpreted loop, vectorised NumPy,
+the Ligra engine's serial / vectorized / threads / processes schedules, the
+owner-computes process kernel) is wrapped in a :class:`GEEBackend` subclass
+and registered under a canonical name with declared
+:class:`BackendCapabilities`.  The registry is the single extension point
+for execution strategies:
+
+* :func:`register_backend` — class decorator that installs a backend (and
+  optional legacy aliases) into the registry;
+* :func:`get_backend` — instantiate a backend by name, with *validated*
+  construction options (unsupported kwargs raise immediately instead of
+  being silently ignored);
+* :func:`list_backends` / :func:`backend_capabilities` — discovery.
+
+Example
+-------
+>>> from repro.backends import get_backend, list_backends
+>>> sorted(list_backends())  # doctest: +ELLIPSIS
+['ligra-processes', 'ligra-serial', ...]
+>>> backend = get_backend("parallel", n_workers=2)
+>>> result = backend.embed(graph, labels, n_classes)  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Type, Union
+
+import numpy as np
+
+__all__ = [
+    "BackendCapabilities",
+    "GEEBackend",
+    "register_backend",
+    "resolve_backend_name",
+    "backend_class",
+    "backend_capabilities",
+    "backend_aliases",
+    "get_backend",
+    "list_backends",
+]
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """Declared properties of an execution backend.
+
+    Attributes
+    ----------
+    supports_weights:
+        Whether weighted edge lists are handled (all current backends do).
+    supports_n_workers:
+        Whether the backend accepts an explicit worker count.  Passing
+        ``n_workers`` to a backend without this capability raises at
+        construction.
+    parallel:
+        Whether the edge pass can actually execute concurrently.
+    deterministic:
+        Whether repeated runs on identical inputs are bit-for-bit
+        reproducible (concurrent accumulation reorders floating-point sums,
+        so the threads/processes schedules are not).
+    description:
+        One-line human-readable summary shown by discovery helpers.
+    """
+
+    supports_weights: bool = True
+    supports_n_workers: bool = False
+    parallel: bool = False
+    deterministic: bool = True
+    description: str = ""
+
+
+class GEEBackend:
+    """Base class for registered GEE execution backends.
+
+    Subclasses implement :meth:`_embed` on a coerced
+    :class:`~repro.graph.facade.Graph` and declare their construction
+    options in ``_OPTIONS`` (name → default).  The base constructor
+    validates every keyword: unknown options and ``n_workers`` on a backend
+    without the ``supports_n_workers`` capability are rejected immediately,
+    so misconfiguration fails at construction instead of being silently
+    ignored at fit time.
+    """
+
+    #: Canonical registry name (set by :func:`register_backend`).
+    name: str = "abstract"
+    #: Declared capabilities (set/overridden by :func:`register_backend`).
+    capabilities: BackendCapabilities = BackendCapabilities()
+    #: Accepted constructor options and their defaults (``n_workers`` is
+    #: handled separately through the capability flag).
+    _OPTIONS: Dict[str, Any] = {}
+
+    def __init__(self, *, n_workers: Optional[int] = None, **options: Any) -> None:
+        cls = type(self)
+        if n_workers is not None and not cls.capabilities.supports_n_workers:
+            raise ValueError(
+                f"backend {cls.name!r} does not support n_workers "
+                f"(capabilities: parallel={cls.capabilities.parallel}); "
+                "drop the argument or pick a parallel backend from "
+                f"{[n for n in list_backends() if backend_capabilities(n).supports_n_workers]}"
+            )
+        unknown = sorted(set(options) - set(cls._OPTIONS))
+        if unknown:
+            supported = sorted(cls._OPTIONS)
+            raise TypeError(
+                f"backend {cls.name!r} got unsupported option(s) {unknown}; "
+                f"supported options: {supported if supported else 'none'}"
+            )
+        self.n_workers = n_workers
+        for key, default in cls._OPTIONS.items():
+            setattr(self, key, options.get(key, default))
+
+    # ------------------------------------------------------------------ #
+    # Embedding protocol
+    # ------------------------------------------------------------------ #
+    def embed(self, graph, labels: np.ndarray, n_classes: Optional[int] = None):
+        """Run the GEE edge pass on a graph-like input.
+
+        Coerces ``graph`` through :meth:`Graph.coerce` (cached views are
+        reused when a :class:`Graph` is passed) and returns an
+        :class:`~repro.core.result.EmbeddingResult`.
+        """
+        from ..graph.facade import Graph
+
+        g = Graph.coerce(graph)
+        # Capability first: is_weighted can cost an O(s) scan on CSR-adopted
+        # graphs, and every current backend supports weights.
+        if not type(self).capabilities.supports_weights and g.is_weighted:
+            raise ValueError(
+                f"backend {type(self).name!r} does not support weighted graphs"
+            )
+        return self._embed(g, labels, n_classes)
+
+    __call__ = embed
+
+    def _embed(self, graph, labels: np.ndarray, n_classes: Optional[int]):
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        opts = {key: getattr(self, key) for key in type(self)._OPTIONS}
+        if type(self).capabilities.supports_n_workers:
+            opts["n_workers"] = self.n_workers
+        inner = ", ".join(f"{k}={v!r}" for k, v in sorted(opts.items()))
+        return f"<{type(self).__name__} name={type(self).name!r} {inner}>".replace(" >", ">")
+
+
+#: name -> backend class
+_REGISTRY: Dict[str, Type[GEEBackend]] = {}
+#: legacy/spelling alias -> canonical name
+_ALIASES: Dict[str, str] = {}
+
+
+def register_backend(
+    name: str,
+    *,
+    capabilities: Optional[BackendCapabilities] = None,
+    aliases: Tuple[str, ...] = (),
+):
+    """Class decorator: install a :class:`GEEBackend` subclass in the registry.
+
+    ``capabilities`` overrides the class attribute; ``aliases`` are
+    alternative names that resolve to the canonical one (used to keep the
+    historical ``"ligra"`` / ``"ligra-parallel"`` method strings working).
+    Re-registering an existing name raises — shadowing a backend silently
+    would make experiment results ambiguous.
+    """
+
+    def decorator(cls: Type[GEEBackend]) -> Type[GEEBackend]:
+        if not (isinstance(cls, type) and issubclass(cls, GEEBackend)):
+            raise TypeError(f"@register_backend requires a GEEBackend subclass, got {cls!r}")
+        for taken in (name, *aliases):
+            if taken in _REGISTRY or taken in _ALIASES:
+                raise ValueError(f"backend name {taken!r} is already registered")
+        cls.name = name
+        if capabilities is not None:
+            cls.capabilities = capabilities
+        _REGISTRY[name] = cls
+        for alias in aliases:
+            _ALIASES[alias] = name
+        return cls
+
+    return decorator
+
+
+def resolve_backend_name(name: str) -> str:
+    """Canonical registry name for ``name`` (resolving aliases), or raise."""
+    if name in _REGISTRY:
+        return name
+    if name in _ALIASES:
+        return _ALIASES[name]
+    raise ValueError(
+        f"unknown backend {name!r}; registered backends: {list_backends()} "
+        f"(aliases: {sorted(_ALIASES)})"
+    )
+
+
+def backend_class(name: str) -> Type[GEEBackend]:
+    """The backend class registered under ``name`` (aliases resolve)."""
+    return _REGISTRY[resolve_backend_name(name)]
+
+
+def backend_capabilities(name: str) -> BackendCapabilities:
+    """Declared capabilities of the backend registered under ``name``."""
+    return backend_class(name).capabilities
+
+
+def backend_aliases() -> Dict[str, str]:
+    """Copy of the alias → canonical-name mapping."""
+    return dict(_ALIASES)
+
+
+def get_backend(name: Union[str, GEEBackend], **options: Any) -> GEEBackend:
+    """Instantiate a backend by name with validated construction options.
+
+    An already-constructed :class:`GEEBackend` passes through unchanged
+    (``options`` must then be empty).
+    """
+    if isinstance(name, GEEBackend):
+        if options:
+            raise TypeError(
+                "options cannot be combined with an already-constructed backend "
+                f"instance ({name!r}); construct it with the options instead"
+            )
+        return name
+    return backend_class(name)(**options)
+
+
+def list_backends() -> List[str]:
+    """Sorted canonical names of every registered backend."""
+    return sorted(_REGISTRY)

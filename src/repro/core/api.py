@@ -1,41 +1,100 @@
-"""High-level user-facing API.
+"""High-level user-facing API: the :class:`GraphEncoderEmbedding` estimator.
 
-:class:`GraphEncoderEmbedding` is the estimator-style entry point a
-downstream user works with: pick an implementation ("method"), fit on a
-graph plus (partial) labels, and read off the embedding.  It wraps the four
-functional implementations and the unsupervised refinement loop behind one
-interface, handles the adjacency/Laplacian choice, and exposes simple
-prediction helpers (nearest-class-centroid classification of unlabelled
-vertices), which is how GEE embeddings are typically consumed.
+The estimator is built on two subsystems introduced by the API redesign:
+
+* **the backend registry** (:mod:`repro.backends`) — every execution
+  strategy (``python``, ``vectorized``, ``ligra-serial``,
+  ``ligra-vectorized``, ``ligra-threads``, ``ligra-processes``,
+  ``parallel``) is a registered :class:`~repro.backends.GEEBackend` with
+  declared capabilities; ``method=`` accepts a canonical name, a legacy
+  alias (``"ligra"``, ``"ligra-parallel"``) or a constructed backend
+  instance, and unsupported options are rejected at construction;
+* **the graph facade** (:class:`repro.graph.facade.Graph`) — ``fit`` and
+  friends accept any graph-like input (``EdgeList``, ``CSRGraph``,
+  ``(s, 2|3)`` arrays, ``scipy.sparse`` adjacencies) and reuse the facade's
+  cached CSR / Laplacian views instead of recomputing them per call.
+
+Beyond the batch ``fit`` of the paper, the estimator supports two online
+scenarios the batch algorithm doesn't cover:
+
+* :meth:`~GraphEncoderEmbedding.transform` — embed *out-of-sample* vertices
+  from their incident edges alone, with one edge pass that touches only the
+  new edges (the fitted vertices' rows and class counts are unchanged);
+* :meth:`~GraphEncoderEmbedding.partial_fit` — *streaming* ingestion of
+  edge batches with incremental class-count/projection updates; the
+  embedding after streaming the whole edge set equals a full-batch ``fit``
+  up to floating-point summation order.
+
+The legacy ``METHODS`` mapping is kept as a deprecation shim; new code
+should use :func:`repro.backends.get_backend` / ``list_backends``.
+
+Examples
+--------
+>>> from repro.graph import planted_partition
+>>> from repro.labels import mask_labels
+>>> edges, truth = planted_partition(300, 3, 0.1, 0.01, seed=1)
+>>> y = mask_labels(truth, 0.2, seed=1)
+>>> model = GraphEncoderEmbedding(method="vectorized").fit(edges, y)
+>>> model.embedding_.shape
+(300, 3)
 """
 
 from __future__ import annotations
 
+import time
+import warnings
 from typing import Callable, Dict, Optional, Union
 
 import numpy as np
 
-from ..graph.edgelist import EdgeList
+from ..backends import GEEBackend, get_backend, list_backends, resolve_backend_name
+from ..graph.facade import Graph, GraphLike, as_edgelist
 from .gee_ligra import gee_ligra
 from .gee_parallel import gee_parallel
 from .gee_python import gee_python
-from .gee_vectorized import gee_vectorized
-from .laplacian import laplacian_reweight
+from .gee_vectorized import accumulate_edges_vectorized, gee_vectorized
 from .refinement import gee_unsupervised
 from .result import EmbeddingResult
-from .validation import UNKNOWN_LABEL, validate_edges, validate_labels
+from .validation import (
+    UNKNOWN_LABEL,
+    class_counts,
+    validate_labels,
+)
+from .projection import projection_from_scales, projection_scales
 
 __all__ = ["GraphEncoderEmbedding", "METHODS"]
 
-#: Mapping from method name to the functional implementation behind it.
-METHODS: Dict[str, Callable[..., EmbeddingResult]] = {
-    "python": gee_python,
-    "vectorized": gee_vectorized,
-    "ligra": gee_ligra,
-    "ligra-serial": lambda e, y, k=None, **kw: gee_ligra(e, y, k, backend="serial", **kw),
-    "ligra-parallel": lambda e, y, k=None, **kw: gee_ligra(e, y, k, backend="processes", **kw),
-    "parallel": gee_parallel,
-}
+
+class _DeprecatedMethods(dict):
+    """Legacy ``METHODS`` mapping, kept so old call sites keep working.
+
+    Indexing emits a :class:`DeprecationWarning` pointing at the backend
+    registry, which is the supported extension point.
+    """
+
+    def __getitem__(self, key):
+        warnings.warn(
+            "repro.core.api.METHODS is deprecated; use "
+            "repro.backends.get_backend(name) / list_backends() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return super().__getitem__(key)
+
+
+#: Deprecated mapping from legacy method name to a functional implementation.
+#: Kept for backward compatibility only — the estimator resolves methods
+#: through :mod:`repro.backends` and never consults this mapping.
+METHODS: Dict[str, Callable[..., EmbeddingResult]] = _DeprecatedMethods(
+    {
+        "python": gee_python,
+        "vectorized": gee_vectorized,
+        "ligra": gee_ligra,
+        "ligra-serial": lambda e, y, k=None, **kw: gee_ligra(e, y, k, backend="serial", **kw),
+        "ligra-parallel": lambda e, y, k=None, **kw: gee_ligra(e, y, k, backend="processes", **kw),
+        "parallel": gee_parallel,
+    }
+)
 
 
 class GraphEncoderEmbedding:
@@ -47,14 +106,23 @@ class GraphEncoderEmbedding:
         Embedding dimensionality ``K``.  May be omitted for supervised fits
         (inferred from the labels) but is required for unsupervised fits.
     method:
-        One of ``"python"``, ``"vectorized"``, ``"ligra"``,
-        ``"ligra-serial"``, ``"ligra-parallel"``, ``"parallel"``.
+        A registered backend name (see
+        :func:`repro.backends.list_backends`), a legacy alias (``"ligra"``,
+        ``"ligra-parallel"``) or a constructed
+        :class:`~repro.backends.GEEBackend` instance.
     laplacian:
-        Use the normalised-Laplacian edge weights instead of raw adjacency.
+        Use the normalised-Laplacian edge weights instead of raw adjacency
+        (reuses the graph facade's cached reweighted view).
     n_workers:
-        Worker count for the parallel methods.
+        Worker count, only valid for backends whose capabilities declare
+        ``supports_n_workers`` — otherwise construction raises.
     normalize:
-        Row-normalise the embedding exposed via :attr:`embedding_`.
+        Row-normalise the embedding exposed via :attr:`embedding_` (and the
+        rows returned by :meth:`transform`).
+    **backend_options:
+        Extra options forwarded to the backend constructor (for example
+        ``chunk_edges`` for ``"vectorized"`` or ``atomic`` for the Ligra
+        family).  Unknown options raise immediately.
 
     Examples
     --------
@@ -71,15 +139,31 @@ class GraphEncoderEmbedding:
         self,
         n_classes: Optional[int] = None,
         *,
-        method: str = "vectorized",
+        method: Union[str, GEEBackend] = "vectorized",
         laplacian: bool = False,
         n_workers: Optional[int] = None,
         normalize: bool = False,
+        **backend_options,
     ) -> None:
-        if method not in METHODS:
-            raise ValueError(f"unknown method {method!r}; available: {sorted(METHODS)}")
+        if isinstance(method, GEEBackend):
+            if n_workers is not None or backend_options:
+                raise TypeError(
+                    "n_workers / backend options cannot be combined with an "
+                    "already-constructed backend instance; construct the "
+                    "backend with those options instead"
+                )
+            self._backend = method
+            self.method = type(method).name
+        else:
+            try:
+                canonical = resolve_backend_name(method)
+            except ValueError:
+                raise ValueError(
+                    f"unknown method {method!r}; available: {list_backends()}"
+                ) from None
+            self._backend = get_backend(canonical, n_workers=n_workers, **backend_options)
+            self.method = canonical
         self.n_classes = n_classes
-        self.method = method
         self.laplacian = laplacian
         self.n_workers = n_workers
         self.normalize = normalize
@@ -87,33 +171,52 @@ class GraphEncoderEmbedding:
         self.result_: Optional[EmbeddingResult] = None
         self.labels_: Optional[np.ndarray] = None
         self.is_fitted_: bool = False
+        self._scales_: Optional[np.ndarray] = None
+        # Streaming (partial_fit) state: raw, un-scaled class sums, plus a
+        # per-vertex "touched by an ingested edge" mask guarding label edits.
+        self._stream_sums_: Optional[np.ndarray] = None
+        self._stream_labels_: Optional[np.ndarray] = None
+        self._stream_touched_: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ #
     # Fitting
     # ------------------------------------------------------------------ #
-    def _impl_kwargs(self) -> dict:
-        if self.method in ("ligra", "ligra-serial", "ligra-parallel", "parallel"):
-            return {"n_workers": self.n_workers}
-        return {}
+    def _prepare_graph(self, graph: GraphLike) -> Graph:
+        g = Graph.coerce(graph)
+        return g.laplacian if self.laplacian else g
 
-    def _prepare_edges(self, edges: EdgeList) -> EdgeList:
-        edges = validate_edges(edges)
-        return laplacian_reweight(edges) if self.laplacian else edges
+    def _reset_stream(self) -> None:
+        self._stream_sums_ = None
+        self._stream_labels_ = None
+        self._stream_touched_ = None
 
-    def fit(self, edges: EdgeList, labels: np.ndarray) -> "GraphEncoderEmbedding":
-        """Semi-supervised fit: embed using the given (partial) labels."""
-        work = self._prepare_edges(edges)
-        y, k = validate_labels(labels, work.n_vertices, self.n_classes)
-        impl = METHODS[self.method]
-        self.result_ = impl(work, y, k, **self._impl_kwargs())
+    def fit(self, graph: GraphLike, labels: np.ndarray) -> "GraphEncoderEmbedding":
+        """Semi-supervised fit: embed using the given (partial) labels.
+
+        ``graph`` is any graph-like input; passing a
+        :class:`~repro.graph.facade.Graph` lets repeated fits reuse its
+        cached CSR / Laplacian views.
+        """
+        g = Graph.coerce(graph)
+        if g.n_vertices == 0:
+            raise ValueError("GEE requires at least one vertex")
+        work = g.laplacian if self.laplacian else g
+        y, k = validate_labels(labels, g.n_vertices, self.n_classes)
+        self.result_ = self._backend.embed(work, y, k)
         self.labels_ = y
         self.n_classes = k
+        self._scales_ = projection_scales(y, k)
+        self._reset_stream()
         self.is_fitted_ = True
         return self
 
+    def fit_transform(self, graph: GraphLike, labels: np.ndarray) -> np.ndarray:
+        """Fit on ``graph`` and return the ``(n, K)`` embedding."""
+        return self.fit(graph, labels).embedding_
+
     def fit_unsupervised(
         self,
-        edges: EdgeList,
+        graph: GraphLike,
         *,
         max_iterations: int = 20,
         seed: Optional[int] = 0,
@@ -121,18 +224,227 @@ class GraphEncoderEmbedding:
         """Unsupervised fit via the embed → cluster → re-embed loop."""
         if self.n_classes is None:
             raise ValueError("n_classes must be set for unsupervised fitting")
-        work = self._prepare_edges(edges)
-        impl = METHODS[self.method]
+        work = self._prepare_graph(graph)
         refinement = gee_unsupervised(
             work,
             self.n_classes,
             max_iterations=max_iterations,
-            implementation=impl,
+            implementation=self._backend,
             seed=seed,
-            **self._impl_kwargs(),
         )
         self.result_ = refinement.final
         self.labels_ = refinement.labels
+        self._scales_ = projection_scales(refinement.labels, self.n_classes)
+        self._reset_stream()
+        self.is_fitted_ = True
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Out-of-sample transform
+    # ------------------------------------------------------------------ #
+    def transform(
+        self,
+        edges: GraphLike,
+        vertices: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Embed out-of-sample vertices from their incident edges.
+
+        Runs one GEE edge pass over *only* the given edges, using the
+        fitted labels and projection scales.  New vertices are any vertex
+        ids at or beyond the fitted vertex count; they are treated as
+        unlabelled, so the fitted vertices' class counts (and therefore
+        their embedding rows) are untouched — exactly what a full-batch
+        refit with the new vertices unlabelled would produce.
+
+        Parameters
+        ----------
+        edges:
+            Graph-like set of edges incident to the new vertices.  Edge
+            weights are used as given (no Laplacian reweighting is applied:
+            out-of-sample degrees are unknown, so ``laplacian=True`` models
+            reject ``transform``).
+        vertices:
+            Vertex ids whose embedding rows to return.  Defaults to every
+            out-of-sample id (``n_fitted .. max_endpoint``) in order.
+
+        Returns
+        -------
+        ``(len(vertices), K)`` embedding rows (row-normalised if the
+        estimator was configured with ``normalize=True``).
+        """
+        self._check_fitted()
+        if self.laplacian:
+            raise ValueError(
+                "transform is not supported with laplacian=True: Laplacian "
+                "reweighting needs the degrees of the combined graph, which "
+                "out-of-sample edges change"
+            )
+        assert self.labels_ is not None and self._scales_ is not None
+        new = as_edgelist(edges)
+        k = int(self.n_classes)  # type: ignore[arg-type]
+        n_fit = int(self.labels_.shape[0])
+        n_total = max(new.n_vertices, n_fit)
+
+        y_ext = np.full(n_total, UNKNOWN_LABEL, dtype=np.int64)
+        y_ext[:n_fit] = self.labels_
+        scales_ext = np.zeros(n_total, dtype=np.float64)
+        scales_ext[:n_fit] = self._scales_
+
+        Z_flat = np.zeros(n_total * k, dtype=np.float64)
+        accumulate_edges_vectorized(
+            Z_flat, new.src, new.dst, new.effective_weights(), y_ext, scales_ext, k
+        )
+        Z = Z_flat.reshape(n_total, k)
+        if self.normalize:
+            norms = np.linalg.norm(Z, axis=1, keepdims=True)
+            norms[norms == 0] = 1.0
+            Z = Z / norms
+        if vertices is None:
+            vertices = np.arange(n_fit, n_total, dtype=np.int64)
+        vertices = np.asarray(vertices, dtype=np.int64)
+        return Z[vertices]
+
+    # ------------------------------------------------------------------ #
+    # Streaming ingestion
+    # ------------------------------------------------------------------ #
+    def partial_fit(
+        self,
+        edges: GraphLike,
+        labels: Optional[np.ndarray] = None,
+    ) -> "GraphEncoderEmbedding":
+        """Ingest one batch of edges, updating the embedding incrementally.
+
+        The estimator accumulates the *raw* per-class weight sums
+        ``S[u, c] = Σ w`` over ingested edges and keeps class counts
+        separate, so the embedding ``Z[:, c] = S[:, c] / count_c`` after any
+        number of batches equals a full-batch :meth:`fit` on the union of
+        the batches (up to floating-point summation order).
+
+        Parameters
+        ----------
+        edges:
+            Graph-like batch of edges.  New vertex ids grow the embedding.
+        labels:
+            Full label vector covering every vertex seen so far (may extend
+            the previous vector for newly arrived vertices; ``-1`` =
+            unknown).  Required on the first call unless the estimator was
+            batch-fitted first, in which case streaming continues from the
+            fitted state.  Labels of already-ingested vertices must not
+            change — their edges were accumulated under the old label.
+
+        Notes
+        -----
+        A vertex must carry its final label before the first batch
+        containing its incident edges: contributions of an edge are
+        accumulated under the labels known at ingestion time.
+        """
+        if self.laplacian:
+            raise ValueError(
+                "partial_fit is not supported with laplacian=True: streamed "
+                "edges change the degrees the reweighting depends on"
+            )
+        t0 = time.perf_counter()
+        batch = as_edgelist(edges)
+
+        if self._stream_sums_ is None:
+            if self.is_fitted_ and self.result_ is not None and self.labels_ is not None:
+                # Continue streaming from a batch fit: recover raw sums.
+                k = int(self.n_classes)  # type: ignore[arg-type]
+                counts = class_counts(self.labels_, k).astype(np.float64)
+                self._stream_sums_ = self.result_.embedding * counts[None, :]
+                self._stream_labels_ = np.asarray(self.labels_, dtype=np.int64).copy()
+                # The fitted graph's edges are gone; conservatively freeze
+                # every fitted vertex's label.
+                self._stream_touched_ = np.ones(self._stream_labels_.shape[0], dtype=bool)
+            elif labels is None:
+                raise ValueError(
+                    "the first partial_fit call must provide labels "
+                    "(or follow a batch fit to continue streaming from it)"
+                )
+            else:
+                self._stream_labels_ = np.empty(0, dtype=np.int64)
+                self._stream_sums_ = np.zeros((0, 0), dtype=np.float64)
+                self._stream_touched_ = np.zeros(0, dtype=bool)
+
+        # Merge the (possibly extended) label vector.
+        if labels is not None:
+            y_new = np.asarray(labels)
+            y_new, k = validate_labels(y_new, y_new.shape[0], self.n_classes)
+            old = self._stream_labels_
+            touched = self._stream_touched_
+            assert old is not None and touched is not None
+            if y_new.shape[0] < old.shape[0]:
+                raise ValueError(
+                    f"labels may only be extended: got {y_new.shape[0]} labels for "
+                    f"{old.shape[0]} already-ingested vertices"
+                )
+            # Only vertices that an ingested edge has touched are frozen:
+            # their past contributions were accumulated under the old label.
+            # Padding vertices no edge has reached may be (re)labelled freely.
+            frozen = touched & (y_new[: old.shape[0]] != old)
+            if np.any(frozen):
+                raise ValueError(
+                    "labels of already-ingested vertices must not change between "
+                    "partial_fit calls (their edges were accumulated under the "
+                    f"previous labels); offending vertices: "
+                    f"{np.flatnonzero(frozen)[:10].tolist()}"
+                )
+            self._stream_labels_ = y_new
+            self.n_classes = k
+        if self.n_classes is None:
+            raise ValueError(
+                "n_classes could not be determined; pass labels or set n_classes"
+            )
+        k = int(self.n_classes)
+
+        # Grow state to cover every vertex seen so far.
+        assert self._stream_labels_ is not None and self._stream_sums_ is not None
+        assert self._stream_touched_ is not None
+        n_needed = max(batch.n_vertices, self._stream_labels_.shape[0])
+        if self._stream_labels_.shape[0] < n_needed:
+            grown = np.full(n_needed, UNKNOWN_LABEL, dtype=np.int64)
+            grown[: self._stream_labels_.shape[0]] = self._stream_labels_
+            self._stream_labels_ = grown
+        if self._stream_touched_.shape[0] < n_needed:
+            grown_touched = np.zeros(n_needed, dtype=bool)
+            grown_touched[: self._stream_touched_.shape[0]] = self._stream_touched_
+            self._stream_touched_ = grown_touched
+        if self._stream_sums_.shape != (n_needed, k):
+            grown_sums = np.zeros((n_needed, k), dtype=np.float64)
+            rows, cols = self._stream_sums_.shape
+            grown_sums[:rows, :cols] = self._stream_sums_
+            self._stream_sums_ = grown_sums
+
+        # Accumulate the batch's raw (un-scaled) class sums: the shared
+        # vectorised kernel with unit scales computes S[u, Y[v]] += w.
+        unit = np.ones(n_needed, dtype=np.float64)
+        accumulate_edges_vectorized(
+            self._stream_sums_.reshape(-1),
+            batch.src,
+            batch.dst,
+            batch.effective_weights(),
+            self._stream_labels_,
+            unit,
+            k,
+        )
+        self._stream_touched_[batch.src] = True
+        self._stream_touched_[batch.dst] = True
+
+        # Finalise: divide by the current class counts and rebuild W.
+        counts = class_counts(self._stream_labels_, k).astype(np.float64)
+        inv = np.where(counts > 0, 1.0 / np.maximum(counts, 1.0), 0.0)
+        Z = self._stream_sums_ * inv[None, :]
+        scales = projection_scales(self._stream_labels_, k)
+        W = projection_from_scales(self._stream_labels_, scales, k)
+        self.result_ = EmbeddingResult(
+            embedding=Z,
+            projection=W,
+            timings={"total": time.perf_counter() - t0},
+            method="gee-streaming",
+            n_workers=1,
+        )
+        self.labels_ = self._stream_labels_
+        self._scales_ = scales
         self.is_fitted_ = True
         return self
 
@@ -143,6 +455,11 @@ class GraphEncoderEmbedding:
         if not self.is_fitted_ or self.result_ is None:
             raise RuntimeError("this GraphEncoderEmbedding instance is not fitted yet")
         return self.result_
+
+    @property
+    def backend_(self) -> GEEBackend:
+        """The resolved execution backend instance."""
+        return self._backend
 
     @property
     def embedding_(self) -> np.ndarray:

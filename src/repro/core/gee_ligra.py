@@ -28,6 +28,7 @@ import numpy as np
 
 from ..graph.csr import CSRGraph
 from ..graph.edgelist import EdgeList
+from ..graph.facade import Graph
 from ..ligra.atomics import make_accumulator
 from ..ligra.backends.base import AccumulatingEdgeMapFunction
 from ..ligra.engine import LigraEngine
@@ -133,7 +134,7 @@ class UpdateEmbedding(AccumulatingEdgeMapFunction):
 
 
 def gee_ligra(
-    edges: Union[EdgeList, CSRGraph],
+    edges: Union[EdgeList, CSRGraph, Graph],
     labels: np.ndarray,
     n_classes: Optional[int] = None,
     *,
@@ -147,9 +148,10 @@ def gee_ligra(
     Parameters
     ----------
     edges:
-        The graph as an :class:`EdgeList` or a prebuilt :class:`CSRGraph`
-        (building CSR is graph loading, not embedding, so it is excluded
-        from the reported timings either way).
+        The graph as a :class:`~repro.graph.facade.Graph` (its cached CSR
+        view is reused), an :class:`EdgeList`, a prebuilt :class:`CSRGraph`,
+        or any other graph-like input (building CSR is graph loading, not
+        embedding, so it is excluded from the reported timings either way).
     labels, n_classes:
         As in :func:`repro.core.gee_python.gee_python`.
     backend:
@@ -165,13 +167,14 @@ def gee_ligra(
         Reuse an existing engine (its graph must be the one to embed); this
         avoids re-forking workers in sweep experiments.
     """
-    if isinstance(edges, CSRGraph):
+    if isinstance(edges, Graph):
+        csr = edges.csr
+    elif isinstance(edges, CSRGraph):
         csr = edges
-        n = csr.n_vertices
     else:
         edges = validate_edges(edges)
         csr = edges.to_csr()
-        n = edges.n_vertices
+    n = csr.n_vertices
     y, k = validate_labels(labels, n, n_classes)
 
     own_engine = engine is None

@@ -49,8 +49,14 @@ import numpy as np
 
 from ..graph.csr import CSRGraph
 from ..graph.edgelist import EdgeList
+from ..graph.facade import Graph
 from ..parallel.partition import block_ranges
-from ..parallel.pool import ForkWorkerPool, effective_worker_count, fork_available
+from ..parallel.pool import (
+    ForkWorkerPool,
+    effective_worker_count,
+    fork_available,
+    resolve_worker_count,
+)
 from ..parallel.shm import SharedArrayHandle, SharedArraySet, attach_many
 from .gee_vectorized import scatter_add
 from .projection import projection_from_scales, projection_scales
@@ -170,11 +176,20 @@ def _pool_task(
 _POOL: Optional[ForkWorkerPool] = None
 
 
-def _get_pool() -> ForkWorkerPool:
-    """The session-wide worker pool (created lazily, reused across calls)."""
+def _get_pool(n_workers: Optional[int] = None) -> ForkWorkerPool:
+    """The session-wide worker pool (created lazily, reused across calls).
+
+    The pool grows to the largest worker count requested so far: a request
+    for more workers than the current pool holds recreates it at the new
+    size, so an explicit ``n_workers`` is always genuinely honoured.
+    """
     global _POOL
+    needed = effective_worker_count(None) if n_workers is None else int(n_workers)
     if _POOL is None or _POOL._closed:  # noqa: SLF001 - own class
-        _POOL = ForkWorkerPool(effective_worker_count(None))
+        _POOL = ForkWorkerPool(needed)
+    elif _POOL.n_workers < needed:
+        _POOL.close()
+        _POOL = ForkWorkerPool(needed)
     return _POOL
 
 
@@ -288,7 +303,7 @@ def _balanced_row_ranges(
 
 
 def gee_parallel(
-    edges: Union[EdgeList, CSRGraph],
+    edges: Union[EdgeList, CSRGraph, Graph],
     labels: np.ndarray,
     n_classes: Optional[int] = None,
     *,
@@ -299,25 +314,27 @@ def gee_parallel(
     Parameters
     ----------
     edges:
-        The graph as an :class:`EdgeList` or a prebuilt :class:`CSRGraph`.
-        Adjacency construction (the equivalent of Ligra loading its graph)
-        is reported separately under the ``"preprocess"`` timing and is not
-        part of the embedding time.
+        The graph as a :class:`~repro.graph.facade.Graph`, an
+        :class:`EdgeList`, a prebuilt :class:`CSRGraph`, or any other
+        graph-like input (coerced through :meth:`Graph.coerce`).  Adjacency
+        construction (the equivalent of Ligra loading its graph) is reported
+        separately under the ``"preprocess"`` timing and is not part of the
+        embedding time; passing a ``Graph`` reuses its cached CSR views.
     labels, n_classes:
         As in :func:`repro.core.gee_python.gee_python`.
     n_workers:
         Number of forked workers; ``None`` uses every available CPU, ``1``
         runs the kernel in-process (no fork) which is the serial anchor of
-        the strong-scaling curve.
-
-    Notes
-    -----
-    Platforms without the ``fork`` start method fall back to single-process
-    execution (reported via ``n_workers=1`` on the result).
+        the strong-scaling curve.  An explicit request is *honoured exactly*
+        — it is never silently clamped or degraded; an impossible request
+        (absurd oversubscription, or >1 workers on a platform without
+        ``fork``) raises instead.
     """
     timings: Dict[str, float] = {}
     t_pre = time.perf_counter()
-    if isinstance(edges, CSRGraph):
+    if isinstance(edges, Graph):
+        csr = edges.csr
+    elif isinstance(edges, CSRGraph):
         csr = edges
     else:
         edges = validate_edges(edges)
@@ -330,7 +347,14 @@ def gee_parallel(
     timings["preprocess"] = time.perf_counter() - t_pre
 
     y, k = validate_labels(labels, n, n_classes)
-    requested = effective_worker_count(n_workers)
+    explicit = n_workers is not None and int(n_workers) > 0
+    requested = resolve_worker_count(n_workers)
+    if explicit and requested > 1 and not fork_available():
+        raise RuntimeError(
+            f"gee_parallel: n_workers={requested} requested but the 'fork' start "
+            "method is unavailable on this platform; pass n_workers=1 (or None "
+            "for the automatic fallback)"
+        )
 
     t0 = time.perf_counter()
     # Algorithm 2 lines 3-6, in the compact per-vertex form: the scales are
@@ -366,7 +390,7 @@ def gee_parallel(
     # loading, reported as preprocess); labels/scales/Z are per call.
     t_share = time.perf_counter()
     shared_graph = _shared_graph_for(csr)
-    pool = _get_pool()
+    pool = _get_pool(requested)
     timings["preprocess"] += time.perf_counter() - t_share
 
     workspace = _workspace_for(n, k)

@@ -36,13 +36,17 @@ def weighted_total_degrees(edges: EdgeList) -> np.ndarray:
     return out_deg + in_deg
 
 
-def laplacian_reweight(edges: EdgeList) -> EdgeList:
+def laplacian_reweight(
+    edges: EdgeList, *, degrees: Optional[np.ndarray] = None
+) -> EdgeList:
     """Rescale every edge weight by ``1 / sqrt(d_u * d_v)``.
 
     Vertices with zero degree cannot appear as edge endpoints, so the
-    division is always well defined for actual edges.
+    division is always well defined for actual edges.  ``degrees`` lets a
+    caller with a cached :func:`weighted_total_degrees` vector (the
+    :class:`~repro.graph.facade.Graph` facade) skip recomputing it.
     """
-    deg = weighted_total_degrees(edges)
+    deg = weighted_total_degrees(edges) if degrees is None else degrees
     w = edges.effective_weights()
     du = deg[edges.src]
     dv = deg[edges.dst]

@@ -16,11 +16,10 @@ from typing import Callable, List, Optional, Union
 
 import numpy as np
 
-from ..graph.edgelist import EdgeList
+from ..graph.facade import Graph, GraphLike
 from ..labels.kmeans import kmeans
 from .gee_vectorized import gee_vectorized
 from .result import EmbeddingResult
-from .validation import validate_edges
 
 __all__ = ["RefinementResult", "gee_unsupervised"]
 
@@ -63,13 +62,37 @@ def _agreement(a: np.ndarray, b: np.ndarray) -> float:
     return float(np.mean(a == b))
 
 
+def _resolve_implementation(implementation, impl_kwargs: dict):
+    """Normalise the ``implementation`` argument to ``f(graph, y, k)``.
+
+    Registered backend names and :class:`~repro.backends.GEEBackend`
+    instances go through the registry (kwargs validate at construction);
+    bare callables keep the historical ``(edges, labels, k, **kwargs)``
+    contract.
+    """
+    from ..backends import GEEBackend, get_backend
+
+    if isinstance(implementation, str):
+        backend = get_backend(implementation, **impl_kwargs)
+        return backend.embed
+    if isinstance(implementation, GEEBackend):
+        if impl_kwargs:
+            raise TypeError(
+                "implementation kwargs cannot be combined with a constructed "
+                "backend instance; construct the backend with them instead"
+            )
+        return implementation.embed
+    # Bare callables receive the EdgeList, per the historical contract.
+    return lambda graph, y, k: implementation(graph.edges, y, k, **impl_kwargs)
+
+
 def gee_unsupervised(
-    edges: EdgeList,
+    edges: GraphLike,
     n_classes: int,
     *,
     max_iterations: int = 20,
     convergence_fraction: float = 0.999,
-    implementation: Callable[..., EmbeddingResult] = gee_vectorized,
+    implementation: Union[str, Callable[..., EmbeddingResult]] = gee_vectorized,
     seed: SeedLike = 0,
     initial_labels: Optional[np.ndarray] = None,
     normalize: bool = True,
@@ -80,7 +103,10 @@ def gee_unsupervised(
     Parameters
     ----------
     edges:
-        The graph (symmetrised for undirected data).
+        The graph (symmetrised for undirected data), as any graph-like
+        input.  The facade's cached CSR view is shared by every iteration,
+        so CSR-consuming backends build the adjacency once per refinement
+        rather than once per round.
     n_classes:
         Number of clusters / embedding dimensions ``K``.
     max_iterations:
@@ -89,7 +115,10 @@ def gee_unsupervised(
         Stop when at least this fraction of vertices keeps its label between
         consecutive rounds.
     implementation:
-        Which GEE implementation performs each embedding pass.
+        Which GEE implementation performs each embedding pass: a registered
+        backend name (``"vectorized"``, ``"parallel"``, ...), a
+        :class:`~repro.backends.GEEBackend` instance, or a bare callable
+        with the ``(edges, labels, n_classes, **kwargs)`` signature.
     initial_labels:
         Optional warm start (e.g. from
         :func:`repro.labels.leiden.leiden_communities`); random otherwise.
@@ -97,13 +126,16 @@ def gee_unsupervised(
         Row-normalise the embedding before clustering (recommended by the
         original GEE paper; keeps hubs from dominating the k-means).
     """
-    edges = validate_edges(edges)
+    graph = Graph.coerce(edges)
+    if graph.n_vertices == 0:
+        raise ValueError("GEE requires at least one vertex")
     if n_classes <= 0:
         raise ValueError("n_classes must be positive")
     if not 0 < convergence_fraction <= 1:
         raise ValueError("convergence_fraction must be in (0, 1]")
+    embed_pass = _resolve_implementation(implementation, impl_kwargs)
     rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
-    n = edges.n_vertices
+    n = graph.n_vertices
 
     if initial_labels is not None:
         labels = np.asarray(initial_labels, dtype=np.int64).copy()
@@ -119,7 +151,7 @@ def gee_unsupervised(
     result: Optional[EmbeddingResult] = None
     iteration = 0
     for iteration in range(1, max_iterations + 1):
-        result = implementation(edges, labels, n_classes, **impl_kwargs)
+        result = embed_pass(graph, labels, n_classes)
         X = result.normalized() if normalize else result.embedding
         km = kmeans(X, n_classes, seed=rng)
         new_labels = _align_labels(labels, km.labels, n_classes)

@@ -32,10 +32,21 @@ __all__ = [
 UNKNOWN_LABEL: int = -1
 
 
-def validate_edges(edges: EdgeList) -> EdgeList:
-    """Check that an edge list is usable by GEE (non-empty vertex set)."""
+def validate_edges(edges) -> EdgeList:
+    """Coerce a graph-like input to an :class:`EdgeList` usable by GEE.
+
+    Accepts everything :meth:`repro.graph.facade.Graph.coerce` accepts
+    (``Graph``, ``EdgeList``, ``CSRGraph``, ``(s, 2|3)`` arrays,
+    ``scipy.sparse`` matrices, ``(src, dst[, weights])`` tuples) and checks
+    the vertex set is non-empty.
+    """
     if not isinstance(edges, EdgeList):
-        raise TypeError(f"expected an EdgeList, got {type(edges)!r}")
+        from ..graph.facade import as_edgelist
+
+        try:
+            edges = as_edgelist(edges)
+        except TypeError as exc:
+            raise TypeError(f"expected a graph-like input: {exc}") from None
     if edges.n_vertices == 0:
         raise ValueError("GEE requires at least one vertex")
     return edges

@@ -32,15 +32,13 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..core.gee_ligra import gee_ligra
-from ..core.gee_parallel import gee_parallel
-from ..core.gee_python import gee_python
-from ..core.gee_vectorized import gee_vectorized
+from ..backends import backend_capabilities, get_backend
 from ..graph.datasets import DEFAULT_SCALE, generate_labels, load, paper_table1_datasets
+from ..graph.facade import Graph
 from ..graph.generators import erdos_renyi
 from .machine_model import PAPER_MACHINE, MachineModel
 from .reporting import ascii_line_plot, format_markdown_table
@@ -58,55 +56,55 @@ __all__ = [
     "main",
 ]
 
-#: Paper column name -> callable(edges, csr, labels, K, n_workers) -> EmbeddingResult.
-#: The two Ligra-based implementations receive the prebuilt CSR adjacency —
-#: Ligra's input is a loaded graph, and graph loading is not part of the
-#: paper's timed region — while the two edge-list implementations consume
-#: the raw edge list exactly as the original code does.
-IMPLEMENTATIONS: Dict[str, Callable] = {
-    "gee-python": lambda e, csr, y, k, w: gee_python(e, y, k),
-    "numba-serial": lambda e, csr, y, k, w: gee_vectorized(e, y, k),
-    "ligra-serial": lambda e, csr, y, k, w: gee_ligra(csr, y, k, backend="vectorized"),
-    "ligra-parallel": lambda e, csr, y, k, w: gee_parallel(csr, y, k, n_workers=w),
+#: Paper column name -> registered backend name (see repro.backends).  Every
+#: implementation consumes the shared Graph facade, whose CSR view is forced
+#: outside the timed region — Ligra's input is a loaded graph, and graph
+#: loading is not part of the paper's timed region.
+IMPLEMENTATIONS: Dict[str, str] = {
+    "gee-python": "python",
+    "numba-serial": "vectorized",
+    "ligra-serial": "ligra-vectorized",
+    "ligra-parallel": "parallel",
 }
 
 #: Paper Table I columns, in order.
 TABLE1_COLUMNS = ["gee-python", "numba-serial", "ligra-serial", "ligra-parallel"]
 
 
-def _prepare_graph(edges):
-    """Build the CSR (out + in adjacency) once, outside any timed region."""
-    csr = edges.to_csr()
-    csr.in_indptr  # force the transpose
-    return csr
+def _prepare_graph(edges) -> Graph:
+    """Coerce to a Graph and force the CSR views outside any timed region."""
+    graph = Graph.coerce(edges)
+    graph.csr.in_indptr  # build out- and in-adjacency now
+    return graph
 
 
 def run_implementation(
     name: str,
-    edges,
+    graph,
     labels: np.ndarray,
     n_classes: int,
     *,
     repeats: int = 1,
     n_workers: Optional[int] = None,
-    csr=None,
     warmup: Optional[int] = None,
 ) -> float:
     """Best-of-``repeats`` runtime (seconds) of one implementation.
 
-    The parallel implementation gets one untimed warm-up call by default so
-    that forking the worker pool and copying the graph into shared memory
-    (one-time costs, the analogue of Ligra starting its thread pool and
-    loading the graph) are excluded — the same treatment every
-    implementation gets for its own one-time costs.
+    ``graph`` is any graph-like input; its CSR views are forced before
+    timing starts.  The parallel implementation gets one untimed warm-up
+    call by default so that forking the worker pool and copying the graph
+    into shared memory (one-time costs, the analogue of Ligra starting its
+    thread pool and loading the graph) are excluded — the same treatment
+    every implementation gets for its own one-time costs.
     """
-    impl = IMPLEMENTATIONS[name]
-    if csr is None:
-        csr = _prepare_graph(edges)
+    backend_name = IMPLEMENTATIONS[name]
+    workers = n_workers if backend_capabilities(backend_name).supports_n_workers else None
+    backend = get_backend(backend_name, n_workers=workers)
+    graph = _prepare_graph(graph)
     if warmup is None:
         warmup = 1 if name == "ligra-parallel" else 0
     record = time_callable(
-        lambda: impl(edges, csr, labels, n_classes, n_workers),
+        lambda: backend.embed(graph, labels, n_classes),
         repeats=repeats,
         warmup=warmup,
     )
@@ -143,7 +141,7 @@ def table1(
         y = generate_labels(
             edges.n_vertices, n_classes, labelled_fraction=labelled_fraction, seed=seed
         )
-        csr = _prepare_graph(edges)
+        graph = _prepare_graph(edges)
         row: Dict[str, object] = {
             "graph": spec.name,
             "paper_graph": spec.paper_name,
@@ -153,7 +151,7 @@ def table1(
         columns = TABLE1_COLUMNS if include_python else TABLE1_COLUMNS[1:]
         for name in columns:
             row[name] = run_implementation(
-                name, edges, y, n_classes, repeats=repeats, n_workers=n_workers, csr=csr
+                name, graph, y, n_classes, repeats=repeats, n_workers=n_workers
             )
         if not include_python:
             row["gee-python"] = float("nan")
@@ -196,11 +194,11 @@ def figure2(
     y = generate_labels(
         edges.n_vertices, n_classes, labelled_fraction=labelled_fraction, seed=seed
     )
-    csr = _prepare_graph(edges)
+    graph = _prepare_graph(edges)
     columns = TABLE1_COLUMNS if include_python else TABLE1_COLUMNS[1:]
     runtimes = {
         name: run_implementation(
-            name, edges, y, n_classes, repeats=repeats, n_workers=n_workers, csr=csr
+            name, graph, y, n_classes, repeats=repeats, n_workers=n_workers
         )
         for name in columns
     }
@@ -256,12 +254,13 @@ def figure3(
     core_counts = sorted({1, 2, 4, *range(6, top + 1, 2), top})
     core_counts = [c for c in core_counts if c <= top]
 
-    csr = _prepare_graph(edges)
+    graph = _prepare_graph(edges)
     measured: List[Dict[str, float]] = []
     serial_time = None
     for cores in core_counts:
+        backend = get_backend("parallel", n_workers=cores)
         record = time_callable(
-            lambda c=cores: gee_parallel(csr, y, n_classes, n_workers=c),
+            lambda b=backend: b.embed(graph, y, n_classes),
             repeats=repeats,
             warmup=1,
         )
@@ -318,7 +317,7 @@ def figure4(
         y = generate_labels(
             edges.n_vertices, n_classes, labelled_fraction=labelled_fraction, seed=seed
         )
-        csr = _prepare_graph(edges)
+        graph = _prepare_graph(edges)
         row: Dict[str, object] = {
             "log2_edges": int(exponent),
             "n_edges": n_edges,
@@ -329,7 +328,7 @@ def figure4(
                 row[name] = float("nan")
                 continue
             row[name] = run_implementation(
-                name, edges, y, n_classes, repeats=repeats, n_workers=n_workers, csr=csr
+                name, graph, y, n_classes, repeats=repeats, n_workers=n_workers
             )
         rows.append(row)
     return rows
@@ -358,16 +357,13 @@ def ablation_atomics(
     y = generate_labels(
         edges.n_vertices, n_classes, labelled_fraction=labelled_fraction, seed=seed
     )
-    res_atomic = gee_ligra(edges, y, n_classes, backend="threads", n_workers=n_workers, atomic=True)
-    res_unsafe = gee_ligra(edges, y, n_classes, backend="threads", n_workers=n_workers, atomic=False)
-    t_atomic = time_callable(
-        lambda: gee_ligra(edges, y, n_classes, backend="threads", n_workers=n_workers, atomic=True),
-        repeats=repeats,
-    ).best
-    t_unsafe = time_callable(
-        lambda: gee_ligra(edges, y, n_classes, backend="threads", n_workers=n_workers, atomic=False),
-        repeats=repeats,
-    ).best
+    graph = _prepare_graph(edges)
+    safe = get_backend("ligra-threads", n_workers=n_workers, atomic=True)
+    unsafe = get_backend("ligra-threads", n_workers=n_workers, atomic=False)
+    res_atomic = safe.embed(graph, y, n_classes)
+    res_unsafe = unsafe.embed(graph, y, n_classes)
+    t_atomic = time_callable(lambda: safe.embed(graph, y, n_classes), repeats=repeats).best
+    t_unsafe = time_callable(lambda: unsafe.embed(graph, y, n_classes), repeats=repeats).best
     deviation = float(np.max(np.abs(res_atomic.embedding - res_unsafe.embedding)))
     return {
         "dataset": spec.name,
@@ -392,7 +388,7 @@ def ablation_projection_init(
     for label, degree in (("sparse", sparse_degree), ("dense", dense_degree)):
         edges = erdos_renyi(n_vertices, n_vertices * degree, seed=seed)
         y = generate_labels(edges.n_vertices, n_classes, seed=seed)
-        result = gee_vectorized(edges, y, n_classes)
+        result = get_backend("vectorized").embed(edges, y, n_classes)
         proj = result.timings["projection"]
         edge_pass = result.timings["edge_pass"]
         rows.append(

@@ -20,6 +20,7 @@ from .datasets import (
     paper_table1_datasets,
 )
 from .edgelist import EdgeList
+from .facade import Graph, GraphLike, as_edgelist, as_graph
 from .generators import (
     complete_graph,
     configuration_power_law,
@@ -44,6 +45,10 @@ from .properties import (
 __all__ = [
     "EdgeList",
     "CSRGraph",
+    "Graph",
+    "GraphLike",
+    "as_graph",
+    "as_edgelist",
     "symmetrize",
     "deduplicate",
     "remove_self_loops",

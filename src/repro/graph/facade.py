@@ -1,0 +1,269 @@
+"""The :class:`Graph` facade: one graph object, many cached views.
+
+Every entry point of the library (the :class:`~repro.core.api.GraphEncoderEmbedding`
+estimator, the functional GEE kernels, the Ligra engine and the experiment
+drivers) accepts a *graph-like* input and funnels it through
+:meth:`Graph.coerce`:
+
+* a :class:`Graph` (returned unchanged, keeping its caches),
+* an :class:`~repro.graph.edgelist.EdgeList`,
+* a :class:`~repro.graph.csr.CSRGraph` (adopted as the CSR view, never
+  rebuilt),
+* an ``(s, 2)`` or ``(s, 3)`` NumPy array of ``(src, dst[, weight])`` rows,
+* a ``(src, dst[, weights])`` tuple of arrays,
+* any ``scipy.sparse`` square adjacency matrix.
+
+The facade exists because the expensive derived structures — the CSR
+adjacency, its transpose, degree vectors, the Laplacian-reweighted edge
+list — used to be recomputed by every call that needed them.  ``Graph``
+builds each view lazily on first access and caches it for the object's
+lifetime, so an experiment that embeds the same graph with six backends
+pays for each view once.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from .csr import CSRGraph
+from .edgelist import EdgeList
+
+__all__ = ["Graph", "GraphLike", "as_graph", "as_edgelist"]
+
+#: The union of input types `Graph.coerce` understands.
+GraphLike = Union["Graph", EdgeList, CSRGraph, np.ndarray, tuple]
+
+
+class Graph:
+    """A graph with lazily-built, cached derived views.
+
+    Parameters
+    ----------
+    edges:
+        The canonical edge-list representation.  May be omitted when ``csr``
+        is given; the edge-list view is then built lazily on first access,
+        so CSR-consuming code paths never pay for the ``O(s)`` expansion.
+    csr:
+        Optional prebuilt CSR adjacency for the same graph; adopted as the
+        cached CSR view instead of being rebuilt on first access.
+    """
+
+    def __init__(
+        self, edges: Optional[EdgeList] = None, *, csr: Optional[CSRGraph] = None
+    ) -> None:
+        if edges is None and csr is None:
+            raise TypeError("Graph requires an EdgeList and/or a CSRGraph")
+        if edges is not None and not isinstance(edges, EdgeList):
+            raise TypeError(f"Graph wraps an EdgeList, got {type(edges)!r}")
+        self._edges = edges
+        self._csr: Optional[CSRGraph] = csr
+        self._reverse_csr: Optional[CSRGraph] = None
+        self._laplacian: Optional["Graph"] = None
+        self._out_degrees: Optional[np.ndarray] = None
+        self._in_degrees: Optional[np.ndarray] = None
+        self._weighted_degrees: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # Coercion
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def coerce(cls, obj: GraphLike, *, n_vertices: Optional[int] = None) -> "Graph":
+        """Build a :class:`Graph` from any graph-like input.
+
+        A ``Graph`` passes through unchanged (its caches are preserved); a
+        ``CSRGraph`` is adopted as the CSR view without a rebuild.  Raises
+        :class:`TypeError` for inputs that are not graph-like.
+        """
+        if isinstance(obj, cls):
+            return obj
+        if isinstance(obj, EdgeList):
+            return cls(obj)
+        if isinstance(obj, CSRGraph):
+            return cls(csr=obj)
+        if isinstance(obj, np.ndarray):
+            return cls(EdgeList.from_array(obj, n_vertices=n_vertices))
+        if _is_scipy_sparse(obj):
+            return cls(_edgelist_from_scipy(obj))
+        if isinstance(obj, tuple) and len(obj) in (2, 3):
+            src, dst = obj[0], obj[1]
+            weights = obj[2] if len(obj) == 3 else None
+            return cls(EdgeList(src, dst, weights, n_vertices))
+        raise TypeError(
+            "expected a graph-like input (Graph, EdgeList, CSRGraph, an (s, 2|3) "
+            f"ndarray, a (src, dst[, weights]) tuple or a scipy.sparse matrix), "
+            f"got {type(obj)!r}"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Basic protocol
+    # ------------------------------------------------------------------ #
+    @property
+    def edges(self) -> EdgeList:
+        """The canonical edge-list view (built lazily from an adopted CSR)."""
+        if self._edges is None:
+            assert self._csr is not None
+            self._edges = self._csr.to_edgelist()
+        return self._edges
+
+    @property
+    def n_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        if self._edges is not None:
+            return int(self._edges.n_vertices)
+        assert self._csr is not None
+        return self._csr.n_vertices
+
+    @property
+    def n_edges(self) -> int:
+        """Number of directed edges ``s``."""
+        if self._edges is not None:
+            return self._edges.n_edges
+        assert self._csr is not None
+        return self._csr.n_edges
+
+    @property
+    def is_weighted(self) -> bool:
+        """Whether the graph carries non-unit edge weights."""
+        if self._edges is not None:
+            return self._edges.is_weighted
+        assert self._csr is not None
+        # CSR always materialises a weight array; treat all-unit as unweighted.
+        return not bool(np.all(self._csr.weights == 1.0))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cached = [
+            name
+            for name, slot in (
+                ("csr", self._csr),
+                ("reverse_csr", self._reverse_csr),
+                ("laplacian", self._laplacian),
+                ("degrees", self._out_degrees),
+            )
+            if slot is not None
+        ]
+        suffix = f", cached={cached}" if cached else ""
+        return f"Graph(n={self.n_vertices}, s={self.n_edges}{suffix})"
+
+    # ------------------------------------------------------------------ #
+    # Cached views
+    # ------------------------------------------------------------------ #
+    @property
+    def csr(self) -> CSRGraph:
+        """The CSR out-adjacency (built once, then cached)."""
+        if self._csr is None:
+            self._csr = CSRGraph.from_edgelist(self._edges)
+        return self._csr
+
+    @property
+    def reverse_csr(self) -> CSRGraph:
+        """CSR over the reversed edges (shares the cached transpose arrays)."""
+        if self._reverse_csr is None:
+            csr = self.csr
+            self._reverse_csr = CSRGraph(
+                indptr=csr.in_indptr,
+                indices=csr.in_indices,
+                weights=csr.in_weights,
+            )
+        return self._reverse_csr
+
+    @property
+    def out_degrees(self) -> np.ndarray:
+        """Unweighted out-degree of every vertex (cached)."""
+        if self._out_degrees is None:
+            if self._csr is not None:
+                self._out_degrees = self._csr.out_degrees().astype(np.int64)
+            else:
+                self._out_degrees = self.edges.out_degrees()
+        return self._out_degrees
+
+    @property
+    def in_degrees(self) -> np.ndarray:
+        """Unweighted in-degree of every vertex (cached)."""
+        if self._in_degrees is None:
+            self._in_degrees = self.edges.in_degrees()
+        return self._in_degrees
+
+    @property
+    def weighted_total_degrees(self) -> np.ndarray:
+        """Weighted total (in + out) degree of every vertex (cached)."""
+        if self._weighted_degrees is None:
+            from ..core.laplacian import weighted_total_degrees
+
+            self._weighted_degrees = weighted_total_degrees(self.edges)
+        return self._weighted_degrees
+
+    @property
+    def laplacian(self) -> "Graph":
+        """The Laplacian-reweighted graph (``w / sqrt(d_u d_v)``), cached.
+
+        Reuses :attr:`weighted_total_degrees`, so asking for the Laplacian
+        view repeatedly (e.g. across refinement iterations) reweights once.
+        """
+        if self._laplacian is None:
+            from ..core.laplacian import laplacian_reweight
+
+            self._laplacian = Graph(
+                laplacian_reweight(self.edges, degrees=self.weighted_total_degrees)
+            )
+        return self._laplacian
+
+    # ------------------------------------------------------------------ #
+    # Conversions
+    # ------------------------------------------------------------------ #
+    def to_scipy(self):
+        """The adjacency as a ``scipy.sparse.csr_matrix`` (via the CSR view)."""
+        return self.csr.to_scipy()
+
+    def cached_views(self) -> Tuple[str, ...]:
+        """Names of the derived views built so far (introspection/tests)."""
+        names = []
+        if self._csr is not None:
+            names.append("csr")
+        if self._reverse_csr is not None:
+            names.append("reverse_csr")
+        if self._laplacian is not None:
+            names.append("laplacian")
+        if self._out_degrees is not None:
+            names.append("out_degrees")
+        if self._in_degrees is not None:
+            names.append("in_degrees")
+        if self._weighted_degrees is not None:
+            names.append("weighted_total_degrees")
+        return tuple(names)
+
+
+def _is_scipy_sparse(obj) -> bool:
+    try:
+        import scipy.sparse as sp
+    except ImportError:  # pragma: no cover - scipy is a hard dep in practice
+        return False
+    return sp.issparse(obj)
+
+
+def _edgelist_from_scipy(matrix) -> EdgeList:
+    """Convert a square scipy.sparse adjacency matrix to an edge list."""
+    if matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(
+            f"adjacency matrix must be square, got shape {tuple(matrix.shape)}"
+        )
+    coo = matrix.tocoo()
+    return EdgeList(
+        src=np.asarray(coo.row, dtype=np.int64),
+        dst=np.asarray(coo.col, dtype=np.int64),
+        weights=np.asarray(coo.data, dtype=np.float64),
+        n_vertices=int(matrix.shape[0]),
+    )
+
+
+def as_graph(obj: GraphLike, *, n_vertices: Optional[int] = None) -> Graph:
+    """Alias for :meth:`Graph.coerce` (functional spelling)."""
+    return Graph.coerce(obj, n_vertices=n_vertices)
+
+
+def as_edgelist(obj: GraphLike, *, n_vertices: Optional[int] = None) -> EdgeList:
+    """Coerce any graph-like input to an :class:`EdgeList`."""
+    if isinstance(obj, EdgeList):
+        return obj
+    return Graph.coerce(obj, n_vertices=n_vertices).edges

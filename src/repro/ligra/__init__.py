@@ -16,7 +16,7 @@ from .backends import (
     make_backend,
 )
 from .edge_map import EdgeMapFunction, edge_map_dense_serial, edge_map_sparse
-from .engine import LigraEngine
+from .engine import LigraEngine, as_engine
 from .vertex_map import VertexMapFunction, vertex_map
 from .vertex_subset import VertexSubset
 
@@ -32,6 +32,7 @@ __all__ = [
     "vertex_map",
     "VertexSubset",
     "LigraEngine",
+    "as_engine",
     "DenseBackend",
     "SerialBackend",
     "VectorizedBackend",

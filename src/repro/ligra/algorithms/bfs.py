@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..edge_map import EdgeMapFunction
-from ..engine import LigraEngine
+from ..engine import LigraEngine, as_engine
 from ..vertex_subset import VertexSubset
 
 __all__ = ["bfs", "bfs_reference"]
@@ -50,6 +50,9 @@ class _BFSVisit(EdgeMapFunction):
 def bfs(engine: LigraEngine, source: int) -> tuple[np.ndarray, np.ndarray]:
     """Breadth-first search from ``source``.
 
+    ``engine`` may be a prepared :class:`LigraEngine` or any graph-like
+    input (wrapped in a default serial engine).
+
     Returns
     -------
     (parents, levels):
@@ -57,6 +60,7 @@ def bfs(engine: LigraEngine, source: int) -> tuple[np.ndarray, np.ndarray]:
         root, ``-1`` for unreachable vertices); ``levels[v]`` is the hop
         distance (``-1`` if unreachable).
     """
+    engine = as_engine(engine)
     n = engine.n_vertices
     if not 0 <= source < n:
         raise ValueError(f"source {source} out of range for {n} vertices")

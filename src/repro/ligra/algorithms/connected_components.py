@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..edge_map import EdgeMapFunction
-from ..engine import LigraEngine
+from ..engine import LigraEngine, as_engine
 
 __all__ = ["connected_components_ligra"]
 
@@ -45,7 +45,9 @@ def connected_components_ligra(engine: LigraEngine, *, max_iterations: int | Non
 
     The graph is traversed as given; pass a symmetrised graph for weakly
     connected components.  Labels are renumbered to ``0..c-1``.
+    ``engine`` may be a prepared :class:`LigraEngine` or any graph-like input.
     """
+    engine = as_engine(engine)
     n = engine.n_vertices
     labels = np.arange(n, dtype=np.int64)
     frontier = engine.full_frontier()

@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..edge_map import EdgeMapFunction
-from ..engine import LigraEngine
+from ..engine import LigraEngine, as_engine
 from ..vertex_subset import VertexSubset
 
 __all__ = ["kcore_decomposition"]
@@ -46,7 +46,9 @@ def kcore_decomposition(engine: LigraEngine) -> np.ndarray:
 
     The input graph should contain both directions of every edge; degrees
     are taken as out-degrees, which then equal undirected degrees.
+    ``engine`` may be a prepared :class:`LigraEngine` or any graph-like input.
     """
+    engine = as_engine(engine)
     n = engine.n_vertices
     degrees = engine.graph.out_degrees().astype(np.int64).copy()
     alive = np.ones(n, dtype=bool)

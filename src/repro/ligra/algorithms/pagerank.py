@@ -13,7 +13,7 @@ from typing import Optional
 import numpy as np
 
 from ..backends.base import AccumulatingEdgeMapFunction
-from ..engine import LigraEngine
+from ..engine import LigraEngine, as_engine
 
 __all__ = ["pagerank", "pagerank_reference"]
 
@@ -44,10 +44,12 @@ def pagerank(
     """Power-iteration PageRank.
 
     Dangling vertices (no out-edges) redistribute their mass uniformly, so
-    the result is a proper probability distribution.
+    the result is a proper probability distribution.  ``engine`` may be a
+    prepared :class:`LigraEngine` or any graph-like input.
     """
     if not 0 < damping < 1:
         raise ValueError("damping must be in (0, 1)")
+    engine = as_engine(engine)
     n = engine.n_vertices
     if n == 0:
         return np.empty(0, dtype=np.float64)

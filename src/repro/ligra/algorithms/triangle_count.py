@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...graph.csr import CSRGraph
+from ...graph.facade import Graph
 
 __all__ = ["count_triangles"]
 
@@ -20,8 +21,11 @@ def count_triangles(graph: CSRGraph) -> int:
     """Number of triangles in an undirected graph given in symmetric form.
 
     Each triangle is counted once.  Self-loops and duplicate edges are
-    ignored by the canonical ``u < v < w`` orientation.
+    ignored by the canonical ``u < v < w`` orientation.  ``graph`` may be a
+    :class:`CSRGraph` or any graph-like input.
     """
+    if not isinstance(graph, CSRGraph):
+        graph = Graph.coerce(graph).csr
     n = graph.n_vertices
     # Build an orientation: keep only edges u -> v with u < v, adjacency sorted.
     forward: list[np.ndarray] = []

@@ -29,7 +29,7 @@ import numpy as np
 
 from ...graph.csr import CSRGraph
 from ...parallel.partition import block_ranges
-from ...parallel.pool import effective_worker_count, fork_available
+from ...parallel.pool import fork_available, resolve_worker_count
 from ...parallel.shm import SharedArraySet, attach_many
 from ..edge_map import EdgeMapFunction, edge_map_dense_serial
 from ..vertex_subset import VertexSubset
@@ -77,7 +77,8 @@ class ProcessBackend(DenseBackend):
     name = "processes"
 
     def __init__(self, n_workers: int | None = None) -> None:
-        self.n_workers = effective_worker_count(n_workers)
+        self._explicit_workers = n_workers is not None and int(n_workers) > 0
+        self.n_workers = resolve_worker_count(n_workers)
         self._warned_fallback = False
 
     def _fallback(self, graph, frontier, fn, reason: str) -> VertexSubset:
@@ -98,6 +99,13 @@ class ProcessBackend(DenseBackend):
                 graph, frontier, fn, "function is not an AccumulatingEdgeMapFunction"
             )
         if not fork_available():
+            if self._explicit_workers and self.n_workers > 1:
+                # An explicit multi-worker request must never degrade silently.
+                raise RuntimeError(
+                    f"ProcessBackend: n_workers={self.n_workers} requested but the "
+                    "'fork' start method is unavailable on this platform; pass "
+                    "n_workers=1 (or None for the automatic fallback)"
+                )
             return self._fallback(graph, frontier, fn, "fork start method unavailable")
 
         srcs, dsts, ws = frontier_edges(graph, frontier)

@@ -25,7 +25,7 @@ import numpy as np
 
 from ...graph.csr import CSRGraph
 from ...parallel.partition import balanced_edge_ranges_by_vertex
-from ...parallel.pool import effective_worker_count
+from ...parallel.pool import resolve_worker_count
 from ..edge_map import EdgeMapFunction
 from ..vertex_subset import VertexSubset
 from .base import DenseBackend
@@ -39,7 +39,7 @@ class ThreadBackend(DenseBackend):
     name = "threads"
 
     def __init__(self, n_workers: int | None = None) -> None:
-        self.n_workers = effective_worker_count(n_workers)
+        self.n_workers = resolve_worker_count(n_workers)
 
     def dense_edge_map(
         self, graph: CSRGraph, frontier: VertexSubset, fn: EdgeMapFunction

@@ -22,12 +22,13 @@ from typing import Optional, Union
 
 from ..graph.csr import CSRGraph
 from ..graph.edgelist import EdgeList
+from ..graph.facade import Graph, GraphLike
 from .backends import DenseBackend, make_backend
 from .edge_map import EdgeMapFunction, edge_map_sparse
 from .vertex_map import VertexFn, vertex_map as _vertex_map
 from .vertex_subset import VertexSubset
 
-__all__ = ["LigraEngine"]
+__all__ = ["LigraEngine", "as_engine"]
 
 
 class LigraEngine:
@@ -36,8 +37,11 @@ class LigraEngine:
     Parameters
     ----------
     graph:
-        The graph, as a :class:`CSRGraph` or an :class:`EdgeList` (which is
-        converted once at construction).
+        The graph, as any graph-like input: a :class:`CSRGraph` is used
+        directly, a :class:`~repro.graph.facade.Graph` contributes its
+        cached CSR view, and everything else (``EdgeList``, ``(s, 2|3)``
+        arrays, ``scipy.sparse`` adjacencies) is coerced once at
+        construction.
     backend:
         Dense-traversal execution backend: a backend instance or one of the
         names ``"serial"``, ``"vectorized"``, ``"threads"``, ``"processes"``.
@@ -49,16 +53,14 @@ class LigraEngine:
 
     def __init__(
         self,
-        graph: Union[CSRGraph, EdgeList],
+        graph: Union[CSRGraph, EdgeList, GraphLike],
         *,
         backend: Union[str, DenseBackend] = "serial",
         n_workers: Optional[int] = None,
         dense_threshold: float = 1 / 20,
     ) -> None:
-        if isinstance(graph, EdgeList):
-            graph = graph.to_csr()
         if not isinstance(graph, CSRGraph):
-            raise TypeError(f"graph must be CSRGraph or EdgeList, got {type(graph)!r}")
+            graph = Graph.coerce(graph).csr
         self.graph = graph
         if isinstance(backend, str):
             backend = make_backend(backend, n_workers)
@@ -146,3 +148,24 @@ class LigraEngine:
             f"LigraEngine(n={self.n_vertices}, s={self.n_edges}, "
             f"backend={self.backend.name!r})"
         )
+
+
+def as_engine(
+    graph_or_engine: Union["LigraEngine", CSRGraph, EdgeList, GraphLike],
+    **engine_kwargs,
+) -> LigraEngine:
+    """Coerce an algorithm input to a :class:`LigraEngine`.
+
+    The Ligra algorithms accept either a prepared engine (full control over
+    backend and worker count) or any graph-like input, which is wrapped in
+    a default serial engine.  An existing engine passes through unchanged
+    (``engine_kwargs`` must then be empty).
+    """
+    if isinstance(graph_or_engine, LigraEngine):
+        if engine_kwargs:
+            raise TypeError(
+                "engine options cannot be combined with an existing LigraEngine; "
+                "construct the engine with them instead"
+            )
+        return graph_or_engine
+    return LigraEngine(graph_or_engine, **engine_kwargs)

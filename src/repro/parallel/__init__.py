@@ -6,7 +6,12 @@ from .partition import (
     chunk_ranges,
     interleaved_assignment,
 )
-from .pool import ForkWorkerPool, effective_worker_count, fork_available
+from .pool import (
+    ForkWorkerPool,
+    effective_worker_count,
+    fork_available,
+    resolve_worker_count,
+)
 from .reduction import inplace_accumulate, sum_reduce, tree_reduce
 from .scheduling import SchedulePolicy, make_schedule
 from .shm import SharedArrayHandle, SharedArraySet, attach, attach_many
@@ -18,6 +23,7 @@ __all__ = [
     "interleaved_assignment",
     "ForkWorkerPool",
     "effective_worker_count",
+    "resolve_worker_count",
     "fork_available",
     "sum_reduce",
     "tree_reduce",

@@ -17,7 +17,12 @@ import queue
 import traceback
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-__all__ = ["ForkWorkerPool", "effective_worker_count", "fork_available"]
+__all__ = [
+    "ForkWorkerPool",
+    "effective_worker_count",
+    "resolve_worker_count",
+    "fork_available",
+]
 
 
 def fork_available() -> bool:
@@ -31,12 +36,41 @@ def fork_available() -> bool:
 def effective_worker_count(requested: Optional[int] = None) -> int:
     """Clamp a requested worker count to the machine's CPU count.
 
-    ``None`` or ``0`` means "use all CPUs".
+    ``None`` or ``0`` means "use all CPUs".  This is the *auto-sizing*
+    helper for defaults; explicit user requests go through
+    :func:`resolve_worker_count`, which honours the request exactly instead
+    of silently clamping it.
     """
     n_cpus = os.cpu_count() or 1
     if requested is None or requested <= 0:
         return n_cpus
     return max(1, min(int(requested), n_cpus))
+
+
+def resolve_worker_count(
+    requested: Optional[int] = None, *, max_oversubscription: int = 8
+) -> int:
+    """Resolve an explicit worker request: honour it exactly or raise.
+
+    ``None`` or ``0`` means "use all CPUs".  A positive request is returned
+    unchanged — never silently clamped to the CPU count; oversubscription is
+    legitimate (e.g. reproducing a worker sweep on a smaller machine).
+    Requests beyond ``max(16, max_oversubscription × CPUs)`` are almost
+    certainly mistakes (they would fork thousands of processes) and raise
+    :class:`ValueError` instead of degrading.
+    """
+    n_cpus = os.cpu_count() or 1
+    if requested is None or int(requested) <= 0:
+        return n_cpus
+    requested = int(requested)
+    limit = max(16, n_cpus * max_oversubscription)
+    if requested > limit:
+        raise ValueError(
+            f"n_workers={requested} exceeds the oversubscription limit of {limit} "
+            f"on this machine ({n_cpus} CPUs); request at most {limit} workers or "
+            "pass n_workers=None to use every CPU"
+        )
+    return requested
 
 
 def _worker_main(

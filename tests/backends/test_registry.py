@@ -1,0 +1,146 @@
+"""Tests for the unified execution-backend registry."""
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    BackendCapabilities,
+    GEEBackend,
+    backend_aliases,
+    backend_capabilities,
+    get_backend,
+    list_backends,
+    register_backend,
+)
+from repro.core import gee_python
+from repro.graph import Graph, planted_partition
+from repro.labels import mask_labels
+
+
+@pytest.fixture(scope="module")
+def seeded_graph():
+    edges, truth = planted_partition(220, 4, 0.1, 0.01, seed=9)
+    y = mask_labels(truth, 0.3, seed=9)
+    return Graph.coerce(edges), y
+
+
+class TestRegistryContents:
+    def test_at_least_six_backends_registered(self):
+        assert len(list_backends()) >= 6
+
+    def test_canonical_names_present(self):
+        expected = {
+            "python",
+            "vectorized",
+            "ligra-serial",
+            "ligra-vectorized",
+            "ligra-threads",
+            "ligra-processes",
+            "parallel",
+        }
+        assert expected <= set(list_backends())
+
+    def test_legacy_aliases_resolve(self):
+        assert type(get_backend("ligra")).name == "ligra-vectorized"
+        assert type(get_backend("ligra-parallel")).name == "ligra-processes"
+        aliases = backend_aliases()
+        assert aliases["ligra"] == "ligra-vectorized"
+        assert aliases["ligra-parallel"] == "ligra-processes"
+
+    def test_capabilities_declared(self):
+        assert backend_capabilities("parallel").supports_n_workers
+        assert backend_capabilities("parallel").parallel
+        assert backend_capabilities("parallel").deterministic
+        assert not backend_capabilities("python").supports_n_workers
+        assert not backend_capabilities("ligra-threads").deterministic
+        for name in list_backends():
+            assert backend_capabilities(name).supports_weights
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_backend("tpu")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+
+            @register_backend("python")
+            class Shadow(GEEBackend):  # pragma: no cover - never instantiated
+                pass
+
+
+class TestConstructionValidation:
+    def test_n_workers_rejected_on_serial_backends(self):
+        for name in ("python", "vectorized", "ligra-serial", "ligra-vectorized"):
+            with pytest.raises(ValueError, match="does not support n_workers"):
+                get_backend(name, n_workers=2)
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(TypeError, match="unsupported option"):
+            get_backend("python", chunk_edges=128)
+        with pytest.raises(TypeError, match="unsupported option"):
+            get_backend("parallel", atomic=False)
+
+    def test_supported_options_accepted(self):
+        assert get_backend("vectorized", chunk_edges=64).chunk_edges == 64
+        assert get_backend("ligra-threads", n_workers=2, atomic=False).atomic is False
+
+    def test_instance_passthrough(self):
+        backend = get_backend("vectorized")
+        assert get_backend(backend) is backend
+        with pytest.raises(TypeError, match="already-constructed"):
+            get_backend(backend, chunk_edges=8)
+
+
+class TestBackendEquivalence:
+    """Every registered backend computes gee_python's embedding."""
+
+    @pytest.mark.parametrize("name", sorted(list_backends()))
+    def test_matches_reference(self, seeded_graph, name):
+        graph, y = seeded_graph
+        reference = gee_python(graph.edges, y, 4).embedding
+        caps = backend_capabilities(name)
+        backend = get_backend(name, n_workers=2 if caps.supports_n_workers else None)
+        result = backend.embed(graph, y, 4)
+        np.testing.assert_allclose(result.embedding, reference, atol=1e-9)
+
+    def test_weighted_graph_agreement(self, seeded_graph):
+        from repro.graph import erdos_renyi
+
+        edges = erdos_renyi(150, 900, seed=10, weighted=True)
+        y = mask_labels(np.arange(150) % 3, 0.5, seed=10)
+        graph = Graph.coerce(edges)
+        reference = gee_python(edges, y, 3).embedding
+        for name in list_backends():
+            result = get_backend(name).embed(graph, y, 3) if not backend_capabilities(
+                name
+            ).supports_n_workers else get_backend(name, n_workers=2).embed(graph, y, 3)
+            np.testing.assert_allclose(result.embedding, reference, atol=1e-9)
+
+
+class TestCustomBackend:
+    def test_register_and_use_custom_backend(self):
+        @register_backend(
+            "test-negating",
+            capabilities=BackendCapabilities(description="test backend"),
+        )
+        class NegatingBackend(GEEBackend):
+            def _embed(self, graph, labels, n_classes):
+                from repro.core import gee_vectorized
+
+                result = gee_vectorized(graph.edges, labels, n_classes)
+                result.embedding = -result.embedding
+                return result
+
+        try:
+            from repro import GraphEncoderEmbedding
+            from repro.graph import erdos_renyi
+
+            edges = erdos_renyi(50, 200, seed=3)
+            y = mask_labels(np.arange(50) % 2, 0.5, seed=3)
+            model = GraphEncoderEmbedding(method="test-negating").fit(edges, y)
+            assert np.all(model.embedding_ <= 0)
+        finally:
+            # Keep the registry clean for other tests.
+            from repro.backends import registry
+
+            registry._REGISTRY.pop("test-negating", None)

@@ -88,10 +88,18 @@ class TestGraphEncoderEmbeddingAPI:
             "parallel",
         }
 
-    @pytest.mark.parametrize("method", ["vectorized", "ligra", "parallel"])
-    def test_fit_produces_consistent_embeddings(self, small_sbm_partial, method):
+    @pytest.mark.parametrize(
+        "method,kwargs",
+        [
+            ("vectorized", {}),
+            ("ligra", {}),
+            ("ligra-threads", {"n_workers": 2}),
+            ("parallel", {"n_workers": 2}),
+        ],
+    )
+    def test_fit_produces_consistent_embeddings(self, small_sbm_partial, method, kwargs):
         edges, truth, y = small_sbm_partial
-        model = GraphEncoderEmbedding(method=method, n_workers=2).fit(edges, y)
+        model = GraphEncoderEmbedding(method=method, **kwargs).fit(edges, y)
         assert model.embedding_.shape == (edges.n_vertices, 3)
         reference = GraphEncoderEmbedding(method="python").fit(edges, y)
         np.testing.assert_allclose(model.embedding_, reference.embedding_, atol=1e-9)
@@ -99,6 +107,15 @@ class TestGraphEncoderEmbeddingAPI:
     def test_unknown_method_rejected(self):
         with pytest.raises(ValueError, match="unknown method"):
             GraphEncoderEmbedding(method="gpu")
+
+    def test_n_workers_rejected_for_serial_methods(self):
+        # Capability validation happens at construction, not silently at fit.
+        with pytest.raises(ValueError, match="n_workers"):
+            GraphEncoderEmbedding(method="vectorized", n_workers=2)
+
+    def test_unknown_backend_option_rejected(self):
+        with pytest.raises(TypeError, match="unsupported option"):
+            GraphEncoderEmbedding(method="vectorized", bogus_option=1)
 
     def test_unfitted_access_raises(self):
         model = GraphEncoderEmbedding()

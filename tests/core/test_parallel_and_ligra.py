@@ -121,13 +121,20 @@ class TestGeeParallelBehaviour:
         assert gee_parallel(edges, y, 4, n_workers=1).n_workers == 1
         assert gee_parallel(edges, y, 4, n_workers=3).n_workers == 3
 
-    def test_worker_count_clamped_to_cpus(self):
+    def test_oversubscribed_request_is_honored(self):
+        # Explicit requests are honored exactly, even beyond the CPU count
+        # (reproducing a worker sweep on a smaller machine is legitimate).
         edges = erdos_renyi(30, 100, seed=2)
         y = random_partial_labels(30, 3, 0.5, seed=2)
-        res = gee_parallel(edges, y, 3, n_workers=10_000)
-        import os
+        res = gee_parallel(edges, y, 3, n_workers=2)
+        assert res.n_workers == 2
 
-        assert res.n_workers <= (os.cpu_count() or 1)
+    def test_absurd_worker_count_rejected(self):
+        # ... but an absurd request raises instead of silently degrading.
+        edges = erdos_renyi(30, 100, seed=2)
+        y = random_partial_labels(30, 3, 0.5, seed=2)
+        with pytest.raises(ValueError, match="n_workers=10000"):
+            gee_parallel(edges, y, 3, n_workers=10_000)
 
     def test_timings_contain_phases(self):
         edges = erdos_renyi(50, 200, seed=3)
