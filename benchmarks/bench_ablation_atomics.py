@@ -7,11 +7,14 @@ here runs the thread-scheduled Ligra formulation with and without the lock
 striping, on the same graph and labels.
 """
 
+import argparse
+
 import pytest
 
 from repro.backends import get_backend
+from repro.eval.timing import time_callable
 
-from bench_config import N_CLASSES
+from bench_config import N_CLASSES, bench_entry, load_bench_dataset, write_bench_json
 
 WORKERS = 4
 
@@ -40,3 +43,42 @@ class TestAtomicsOnOff:
         benchmark.pedantic(
             lambda: backend.embed(graph, labels, N_CLASSES), rounds=3, iterations=1
         )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    graph, labels, _ = load_bench_dataset("twitch-sim")
+    entries = []
+    cases = [
+        ("atomics-on", get_backend("ligra-threads", n_workers=WORKERS, atomic=True), WORKERS),
+        ("atomics-off", get_backend("ligra-threads", n_workers=WORKERS, atomic=False), WORKERS),
+        ("serial-reference", get_backend("ligra-serial", atomic=False), 1),
+    ]
+    for label, backend, workers in cases:
+        record = time_callable(
+            lambda: backend.embed(graph, labels, N_CLASSES),
+            repeats=args.repeats,
+            warmup=1,
+        )
+        record.label = f"twitch-sim/{label}"
+        entries.append(
+            bench_entry(
+                record,
+                backend=type(backend).name,
+                graph="twitch-sim",
+                n=graph.n_vertices,
+                E=graph.n_edges,
+                n_workers=workers,
+                variant=label,
+            )
+        )
+        print(f"  {record.label}: best={record.best*1e3:.2f}ms")
+    write_bench_json("ablation_atomics", entries)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,8 @@ degree, benchmarking the two phases (projection initialisation and the edge
 pass) separately so the crossover is visible in the report.
 """
 
+import argparse
+
 import pytest
 
 from repro.core.gee_vectorized import accumulate_edges_vectorized
@@ -16,10 +18,13 @@ from repro.core.projection import (
     projection_from_scales,
     projection_scales,
 )
+from repro.eval.timing import time_callable
 from repro.graph.datasets import generate_labels
 from repro.graph.generators import erdos_renyi
 
 import numpy as np
+
+from bench_config import bench_entry, write_bench_json
 
 N_VERTICES = 100_000
 N_CLASSES = 50
@@ -91,3 +96,57 @@ class TestProjectionStrategies:
         benchmark(
             lambda: projection_from_scales(labels, projection_scales(labels, N_CLASSES), N_CLASSES)
         )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    entries = []
+    for regime, degree in (("sparse-degree-2", 2), ("dense-degree-32", 32)):
+        edges, labels = _case(average_degree=degree)
+        scales = projection_scales(labels, N_CLASSES)
+
+        proj = time_callable(
+            lambda: projection_from_scales(labels, projection_scales(labels, N_CLASSES), N_CLASSES),
+            repeats=args.repeats,
+        )
+        proj.label = f"{regime}/projection-init"
+        entries.append(
+            bench_entry(proj, n=N_VERTICES, E=edges.n_edges, K=N_CLASSES,
+                        graph=regime, phase="projection")
+        )
+
+        def edge_pass():
+            Z = np.zeros(N_VERTICES * N_CLASSES)
+            accumulate_edges_vectorized(
+                Z, edges.src, edges.dst, edges.effective_weights(), labels, scales, N_CLASSES
+            )
+
+        ep = time_callable(edge_pass, repeats=args.repeats)
+        ep.label = f"{regime}/edge-pass"
+        entries.append(
+            bench_entry(ep, n=N_VERTICES, E=edges.n_edges, K=N_CLASSES,
+                        graph=regime, phase="edge_pass")
+        )
+        print(f"  {regime}: projection={proj.best*1e3:.2f}ms edge_pass={ep.best*1e3:.2f}ms")
+
+    _, labels = _case(average_degree=32)
+    for label, fn in (
+        ("serial-per-class-loop", lambda: build_projection(labels, N_CLASSES)),
+        ("class-parallel-threads", lambda: build_projection_parallel(labels, N_CLASSES, n_workers=8)),
+        ("vectorized-scatter", lambda: projection_from_scales(labels, projection_scales(labels, N_CLASSES), N_CLASSES)),
+    ):
+        record = time_callable(fn, repeats=args.repeats)
+        record.label = f"projection-strategy/{label}"
+        entries.append(
+            bench_entry(record, n=N_VERTICES, E=None, K=N_CLASSES, strategy=label)
+        )
+        print(f"  {record.label}: best={record.best*1e3:.2f}ms")
+    write_bench_json("ablation_init", entries)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,16 +1,26 @@
-"""Shared configuration and dataset loading for the benchmark harness.
+"""Shared configuration, dataset loading and result emission for benchmarks.
 
 Kept separate from ``conftest.py`` so benchmark modules can import it
 directly (``from bench_config import N_CLASSES``) without colliding with the
 unit-test suite's own ``conftest`` module when both directories are
 collected in one pytest invocation.
+
+Besides the pytest-benchmark suites, every ``bench_*.py`` module is directly
+runnable (``python benchmarks/bench_<name>.py``) and writes a
+machine-readable ``BENCH_<name>.json`` at the repository root through
+:func:`write_bench_json` — the committed set of those files is the perf
+baseline the CI regression gate (``benchmarks/check_regression.py``)
+compares against.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import platform
 import sys
 from pathlib import Path
+from typing import Dict, List, Optional
 
 try:  # pragma: no cover - import guard, mirrors tests/conftest.py
     import repro  # noqa: F401
@@ -52,3 +62,75 @@ def load_bench_dataset(name: str):
     graph = Graph.coerce(edges)
     graph.csr.in_indptr  # force out- and in-adjacency
     return graph, labels, spec
+
+
+# --------------------------------------------------------------------------- #
+# Machine-readable result emission (BENCH_<name>.json)
+# --------------------------------------------------------------------------- #
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def bench_entry(
+    record,
+    *,
+    backend: Optional[str] = None,
+    n: Optional[int] = None,
+    E: Optional[int] = None,
+    K: int = N_CLASSES,
+    n_workers: Optional[int] = None,
+    graph: Optional[str] = None,
+    **extra,
+) -> Dict:
+    """One JSON-able result row from a :class:`~repro.eval.timing.TimingRecord`.
+
+    ``per_edge_ns`` is the scale-free "normalised time" the regression gate
+    compares: best wall-clock divided by the directed edge count.
+    """
+    entry: Dict = {
+        "label": record.label,
+        "graph": graph,
+        "backend": backend,
+        "n": None if n is None else int(n),
+        "E": None if E is None else int(E),
+        "K": int(K),
+        "n_workers": n_workers,
+        "best_s": record.best,
+        "mean_s": record.mean,
+        "n_samples": record.n_samples,
+        "per_edge_ns": (record.best / E * 1e9) if E else None,
+    }
+    entry.update(extra)
+    return entry
+
+
+def write_bench_json(
+    name: str, entries: List[Dict], *, extra: Optional[Dict] = None
+) -> Path:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    The file goes to the repository root by default (the committed baseline
+    location); set ``REPRO_BENCH_OUTPUT_DIR`` to write elsewhere — the CI
+    regression gate uses that to produce a fresh measurement without
+    clobbering the checked-out baseline it compares against.
+    """
+    payload: Dict = {
+        "schema": 1,
+        "benchmark": name,
+        "bench_scale": bench_scale(),
+        "bench_scale_multiplier": float(os.environ.get("REPRO_BENCH_SCALE", "1")),
+        "n_classes": N_CLASSES,
+        "labelled_fraction": LABELLED_FRACTION,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "entries": entries,
+    }
+    if extra:
+        payload.update(extra)
+    out_dir = Path(os.environ.get("REPRO_BENCH_OUTPUT_DIR", REPO_ROOT))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    print(f"wrote {path} ({len(entries)} entries)")
+    return path

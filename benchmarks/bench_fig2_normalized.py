@@ -8,11 +8,14 @@ reported by ``repro.eval.experiments.figure2`` and recorded in
 EXPERIMENTS.md.
 """
 
+import argparse
+
 import pytest
 
 from repro.backends import get_backend
+from repro.eval.timing import time_callable
 
-from bench_config import N_CLASSES
+from bench_config import N_CLASSES, bench_entry, load_bench_dataset, write_bench_json
 
 
 @pytest.mark.benchmark(group="figure2-friendster-normalized")
@@ -46,3 +49,45 @@ class TestFigure2:
         backend = get_backend("parallel")
         backend.embed(graph, labels, N_CLASSES)  # warm pool and shared-graph cache
         benchmark(lambda: backend.embed(graph, labels, N_CLASSES))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    graph, labels, _ = load_bench_dataset("friendster-sim")
+    twitch, twitch_labels, _ = load_bench_dataset("twitch-sim")
+    entries = []
+    runtimes = {}
+    cases = [
+        ("python", twitch, twitch_labels, "twitch-sim", 1),
+        ("vectorized", graph, labels, "friendster-sim", args.repeats),
+        ("sparse", graph, labels, "friendster-sim", args.repeats),
+        ("ligra-vectorized", graph, labels, "friendster-sim", args.repeats),
+        ("parallel", graph, labels, "friendster-sim", args.repeats),
+    ]
+    for name, g, y, ds, repeats in cases:
+        backend = get_backend(name)
+        record = time_callable(
+            lambda: backend.embed(g, y, N_CLASSES), repeats=repeats, warmup=1
+        )
+        record.label = f"{ds}/{name}"
+        runtimes[name] = record.best
+        entries.append(
+            bench_entry(record, backend=name, graph=ds, n=g.n_vertices, E=g.n_edges)
+        )
+        print(f"  {record.label}: best={record.best*1e3:.2f}ms")
+    base = runtimes["vectorized"]
+    for entry in entries:
+        if entry["graph"] != "friendster-sim":
+            continue  # the python row runs on twitch; a cross-graph ratio lies
+        entry["normalized_to_vectorized"] = (
+            entry["best_s"] / base if base > 0 else float("nan")
+        )
+    write_bench_json("fig2_normalized", entries)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,14 +8,16 @@ this machine; the calibrated roofline model (checked in
 ``repro.eval.experiments.figure3``) reproduces the published 24-core curve.
 """
 
+import argparse
 import os
 
 import pytest
 
 from repro.backends import get_backend
 from repro.eval.machine_model import PAPER_MACHINE
+from repro.eval.timing import time_callable
 
-from bench_config import N_CLASSES
+from bench_config import N_CLASSES, bench_entry, load_bench_dataset, write_bench_json
 
 _AVAILABLE = os.cpu_count() or 1
 WORKER_COUNTS = [w for w in (1, 2, 4, 8, 16, 24) if w <= _AVAILABLE]
@@ -43,3 +45,46 @@ def test_machine_model_speedup_curve(benchmark):
 
     result = benchmark(curve)
     assert 9.0 <= result[24] <= 13.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    graph, labels, _ = load_bench_dataset("friendster-sim")
+    entries = []
+    serial_best = None
+    for n_workers in WORKER_COUNTS:
+        backend = get_backend("parallel", n_workers=n_workers)
+        record = time_callable(
+            lambda: backend.embed(graph, labels, N_CLASSES),
+            repeats=args.repeats,
+            warmup=1,
+        )
+        record.label = f"friendster-sim/parallel@{n_workers}"
+        if n_workers == 1:
+            serial_best = record.best
+        entries.append(
+            bench_entry(
+                record,
+                backend="parallel",
+                graph="friendster-sim",
+                n=graph.n_vertices,
+                E=graph.n_edges,
+                n_workers=n_workers,
+                speedup=(serial_best / record.best) if serial_best else None,
+            )
+        )
+        print(f"  {record.label}: best={record.best*1e3:.2f}ms")
+    model_curve = PAPER_MACHINE.speedup_curve(1_800_000_000, range(1, 25))
+    write_bench_json(
+        "fig3_strong_scaling",
+        entries,
+        extra={"paper_machine_model_speedups": {str(p): s for p, s in model_curve.items()}},
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

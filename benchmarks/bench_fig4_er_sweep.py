@@ -7,14 +7,17 @@ implementations, including the pure-Python reference on the smaller sizes —
 and can be extended through the ``repro.eval.experiments figure4`` CLI.
 """
 
+import argparse
+
 import pytest
 
 from repro.backends import get_backend
+from repro.eval.timing import time_callable
 from repro.graph.facade import Graph
 from repro.graph.datasets import generate_labels
 from repro.graph.generators import erdos_renyi
 
-from bench_config import LABELLED_FRACTION, N_CLASSES
+from bench_config import LABELLED_FRACTION, N_CLASSES, bench_entry, write_bench_json
 
 EXPONENTS = [13, 15, 17, 19]
 PYTHON_EXPONENTS = [13, 15]  # the interpreted loop is capped to keep the run short
@@ -75,3 +78,40 @@ def test_ligra_parallel(benchmark, er_cases, exponent):
     backend.embed(graph, labels, N_CLASSES)  # warm pool / graph cache
     benchmark.extra_info["log2_edges"] = exponent
     benchmark(lambda: backend.embed(graph, labels, N_CLASSES))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    entries = []
+    for exponent in EXPONENTS:
+        graph, labels = _er_case(exponent)
+        for name in ("python", "vectorized", "sparse", "ligra-vectorized", "parallel"):
+            if name == "python" and exponent not in PYTHON_EXPONENTS:
+                continue
+            backend = get_backend(name)
+            record = time_callable(
+                lambda: backend.embed(graph, labels, N_CLASSES),
+                repeats=1 if name == "python" else args.repeats,
+                warmup=1,
+            )
+            record.label = f"er-2^{exponent}/{name}"
+            entries.append(
+                bench_entry(
+                    record,
+                    backend=name,
+                    graph=f"erdos-renyi-2^{exponent}",
+                    n=graph.n_vertices,
+                    E=graph.n_edges,
+                    log2_edges=exponent,
+                )
+            )
+            print(f"  {record.label}: best={record.best*1e3:.2f}ms")
+    write_bench_json("fig4_er_sweep", entries)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,13 +10,20 @@ can be read off directly.
 The pure-Python reference is benchmarked only on the two smaller graphs to
 keep the suite's runtime reasonable — its linear scaling is established by
 ``bench_fig4_er_sweep.py``.
+
+Run directly (``python benchmarks/bench_table1_runtimes.py``) to write the
+machine-readable ``BENCH_table1_runtimes.json`` at the repository root — the
+baseline the CI perf-regression gate compares against.
 """
+
+import argparse
 
 import pytest
 
-from repro.backends import get_backend
+from repro.backends import backend_capabilities, get_backend
+from repro.eval.timing import time_callable
 
-from bench_config import N_CLASSES
+from bench_config import N_CLASSES, bench_entry, load_bench_dataset, write_bench_json
 
 
 def _bench_backend(benchmark, case, backend_name, **backend_options):
@@ -67,8 +74,65 @@ class TestFriendster:
     def test_numba_serial_standin(self, benchmark, friendster_sim):
         _bench_backend(benchmark, friendster_sim, "vectorized")
 
+    def test_scipy_sparse(self, benchmark, friendster_sim):
+        _bench_backend(benchmark, friendster_sim, "sparse")
+
     def test_ligra_serial(self, benchmark, friendster_sim):
         _bench_backend(benchmark, friendster_sim, "ligra-vectorized")
 
     def test_ligra_parallel(self, benchmark, friendster_sim):
         _bench_backend(benchmark, friendster_sim, "parallel")
+
+
+# --------------------------------------------------------------------------- #
+# Machine-readable baseline (BENCH_table1_runtimes.json)
+# --------------------------------------------------------------------------- #
+#: Registry backends measured per graph; ``python`` only runs on the
+#: smallest stand-in (its >30x gap is visible at any size).
+JSON_BACKENDS = ["python", "vectorized", "sparse", "ligra-vectorized", "parallel"]
+JSON_DATASETS = ["twitch-sim", "orkut-sim", "friendster-sim"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--datasets", nargs="*", default=JSON_DATASETS)
+    parser.add_argument(
+        "--json-name",
+        default="table1_runtimes",
+        help="BENCH_<name>.json to write (e.g. table1_smoke for the "
+        "REPRO_BENCH_SCALE=0.05 baseline the CI gate compares at like scale)",
+    )
+    args = parser.parse_args(argv)
+
+    entries = []
+    for dataset in args.datasets:
+        graph, labels, spec = load_bench_dataset(dataset)
+        for name in JSON_BACKENDS:
+            if name == "python" and dataset != "twitch-sim":
+                continue
+            caps = backend_capabilities(name)
+            backend = get_backend(name)
+            record = time_callable(
+                lambda: backend.embed(graph, labels, N_CLASSES),
+                repeats=1 if name == "python" else args.repeats,
+                warmup=1,  # warms pools / shared-memory caches uniformly
+            )
+            record.label = f"{dataset}/{name}"
+            entries.append(
+                bench_entry(
+                    record,
+                    backend=name,
+                    graph=dataset,
+                    n=graph.n_vertices,
+                    E=graph.n_edges,
+                    n_workers=1 if not caps.parallel else None,
+                )
+            )
+            print(f"  {record.label}: best={record.best*1e3:.2f}ms")
+    write_bench_json(args.json_name, entries)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,83 @@
+"""Perf-regression gate: compare a fresh BENCH json against the baseline.
+
+Usage (what the CI smoke job runs)::
+
+    REPRO_BENCH_OUTPUT_DIR=/tmp/bench REPRO_BENCH_SCALE=0.05 \
+        python benchmarks/bench_table1_runtimes.py --repeats 2
+    python benchmarks/check_regression.py \
+        --baseline BENCH_table1_smoke.json \
+        --current /tmp/bench/BENCH_table1_runtimes.json \
+        --backend vectorized --factor 1.5
+
+The comparison is on *normalised* time (``per_edge_ns`` — best wall-clock
+divided by the directed edge count).  Per-edge cost is NOT scale-free in
+practice (the committed full-scale baseline shows ~28 ns/edge on the
+4k-edge twitch stand-in vs ~84 ns/edge on the 1.1M-edge friendster one:
+small working sets stay cache-resident), so the committed baseline the CI
+gate reads — ``BENCH_table1_smoke.json`` — was generated at the *same*
+``REPRO_BENCH_SCALE=0.05`` the gate re-measures at.  Cross-machine
+variance remains, which is why the gate is a >1.5× trip-wire for gross
+regressions, not a precision measurement; only the largest graph present
+in each file is compared (the most amortised, least noisy point).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _best_entry(payload: dict, backend: str):
+    """The entry for ``backend`` with the largest edge count (most stable)."""
+    rows = [
+        e
+        for e in payload.get("entries", [])
+        if e.get("backend") == backend and e.get("per_edge_ns")
+    ]
+    if not rows:
+        return None
+    return max(rows, key=lambda e: e["E"] or 0)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=Path, required=True,
+                        help="committed BENCH_*.json to compare against")
+    parser.add_argument("--current", type=Path, required=True,
+                        help="freshly-measured BENCH_*.json")
+    parser.add_argument("--backend", default="vectorized",
+                        help="backend whose normalised time is gated")
+    parser.add_argument("--factor", type=float, default=1.5,
+                        help="fail when current/baseline per-edge time exceeds this")
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    current = json.loads(args.current.read_text())
+
+    base_entry = _best_entry(baseline, args.backend)
+    cur_entry = _best_entry(current, args.backend)
+    if base_entry is None or cur_entry is None:
+        print(
+            f"check_regression: no '{args.backend}' entries with edge counts in "
+            f"{'baseline' if base_entry is None else 'current'} file; nothing to gate"
+        )
+        return 0
+
+    ratio = cur_entry["per_edge_ns"] / base_entry["per_edge_ns"]
+    print(
+        f"backend={args.backend}: baseline {base_entry['per_edge_ns']:.2f} ns/edge "
+        f"on {base_entry['graph']} (E={base_entry['E']}), current "
+        f"{cur_entry['per_edge_ns']:.2f} ns/edge on {cur_entry['graph']} "
+        f"(E={cur_entry['E']}) -> ratio {ratio:.2f}x (limit {args.factor}x)"
+    )
+    if ratio > args.factor:
+        print("FAIL: normalised time regressed beyond the allowed factor")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,8 @@ name               implementation                                paper column
 ================== ============================================= ===========
 python             interpreted reference loop (Algorithm 1)      GEE-Python
 vectorized         NumPy scatter-add edge pass                   Numba serial
+sparse             ``(A + Aᵀ)·W`` via scipy.sparse CSR matmul    Numba serial
+                                                                 (C-speed ref)
 ligra-serial       engine, one edge list at a time               GEE-Ligra S
 ligra-vectorized   engine, flat NumPy slabs (alias: ``ligra``)   GEE-Ligra S
 ligra-threads      engine, degree-balanced threads + atomics     —
@@ -20,6 +22,10 @@ ligra-processes    engine, forked workers + reduction            GEE-Ligra P
                    (alias: ``ligra-parallel``)
 parallel           owner-computes rows over shared memory        GEE-Ligra P
 ================== ============================================= ===========
+
+Every backend also implements the compiled-plan path
+(``embed_with_plan``, see :mod:`repro.core.plan`): repeated embeds of one
+``(graph, K)`` pair skip validation, index building and large allocations.
 """
 
 from __future__ import annotations
@@ -28,16 +34,18 @@ from typing import Optional
 
 import numpy as np
 
-from ..core.gee_ligra import gee_ligra
-from ..core.gee_parallel import gee_parallel
-from ..core.gee_python import gee_python
-from ..core.gee_vectorized import gee_vectorized
+from ..core.gee_ligra import gee_ligra, gee_ligra_with_plan
+from ..core.gee_parallel import gee_parallel, gee_parallel_with_plan
+from ..core.gee_python import gee_python, gee_python_with_plan
+from ..core.gee_sparse import gee_sparse, gee_sparse_with_plan
+from ..core.gee_vectorized import gee_vectorized, gee_vectorized_with_plan
 from ..graph.facade import Graph
 from .registry import BackendCapabilities, GEEBackend, register_backend
 
 __all__ = [
     "PythonLoopBackend",
     "VectorizedGEEBackend",
+    "SparseMatmulGEEBackend",
     "LigraSerialGEEBackend",
     "LigraVectorizedGEEBackend",
     "LigraThreadsGEEBackend",
@@ -58,6 +66,9 @@ class PythonLoopBackend(GEEBackend):
     def _embed(self, graph: Graph, labels: np.ndarray, n_classes: Optional[int]):
         return gee_python(graph.edges, labels, n_classes)
 
+    def _embed_with_plan(self, plan, labels: np.ndarray):
+        return gee_python_with_plan(plan, labels)
+
 
 @register_backend(
     "vectorized",
@@ -74,6 +85,35 @@ class VectorizedGEEBackend(GEEBackend):
         return gee_vectorized(
             graph.edges, labels, n_classes, chunk_edges=self.chunk_edges
         )
+
+    def _embed_with_plan(self, plan, labels: np.ndarray):
+        if self.chunk_edges is not None:
+            # Chunked runs exist to bound temporary-array size; the plan's
+            # precompiled full-length index components defeat that, so fall
+            # back to the classic chunked kernel on the plan's graph.
+            return self._embed(plan.graph, labels, plan.n_classes)
+        return gee_vectorized_with_plan(plan, labels)
+
+
+@register_backend(
+    "sparse",
+    capabilities=BackendCapabilities(
+        description="scipy.sparse CSR matmul (A + A^T)W — C-speed serial reference",
+    ),
+)
+class SparseMatmulGEEBackend(GEEBackend):
+    """GEE as one sparse matrix product, ``Z = (A + Aᵀ)·W`` via SciPy.
+
+    A serial reference point whose inner loop is compiled C: what a generic
+    sparse-linear-algebra stack achieves on the same hardware without the
+    paper's edge-pass formulation.
+    """
+
+    def _embed(self, graph: Graph, labels: np.ndarray, n_classes: Optional[int]):
+        return gee_sparse(graph, labels, n_classes)
+
+    def _embed_with_plan(self, plan, labels: np.ndarray):
+        return gee_sparse_with_plan(plan, labels)
 
 
 class _LigraGEEBackend(GEEBackend):
@@ -93,6 +133,15 @@ class _LigraGEEBackend(GEEBackend):
             graph.csr,
             labels,
             n_classes,
+            backend=self.engine_backend,
+            n_workers=self.n_workers,
+            atomic=self.atomic,
+        )
+
+    def _embed_with_plan(self, plan, labels: np.ndarray):
+        return gee_ligra_with_plan(
+            plan,
+            labels,
             backend=self.engine_backend,
             n_workers=self.n_workers,
             atomic=self.atomic,
@@ -165,3 +214,6 @@ class ProcessParallelGEEBackend(GEEBackend):
 
     def _embed(self, graph: Graph, labels: np.ndarray, n_classes: Optional[int]):
         return gee_parallel(graph, labels, n_classes, n_workers=self.n_workers)
+
+    def _embed_with_plan(self, plan, labels: np.ndarray):
+        return gee_parallel_with_plan(plan, labels, n_workers=self.n_workers)

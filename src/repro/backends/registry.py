@@ -135,6 +135,32 @@ class GEEBackend:
 
     __call__ = embed
 
+    def embed_with_plan(self, plan, labels: np.ndarray):
+        """Run the edge pass on a compiled :class:`~repro.core.plan.EmbedPlan`.
+
+        The plan (from :meth:`repro.graph.facade.Graph.plan`) already holds
+        every label-independent artifact — validated edges, flat scatter
+        indices, CSR/CSC views, output buffers — so repeated calls on the
+        same graph do no validation, no index rebuilding and no large
+        allocations.  Backends with a dedicated plan kernel return an
+        embedding that views the plan's reused output buffer (valid until
+        the next plan-based call; see ``EmbeddingResult.detached``).
+
+        Label validation (the only per-call O(n) check left) happens
+        exactly once, inside the dispatched kernel.
+        """
+        if not type(self).capabilities.supports_weights and plan.graph.is_weighted:
+            raise ValueError(
+                f"backend {type(self).name!r} does not support weighted graphs"
+            )
+        return self._embed_with_plan(plan, labels)
+
+    def _embed_with_plan(self, plan, labels: np.ndarray):
+        # Fallback for backends without a dedicated plan kernel: the plan's
+        # graph still contributes its cached CSR views.
+        y = plan.validate_labels(labels)
+        return self._embed(plan.graph, y, plan.n_classes)
+
     def _embed(self, graph, labels: np.ndarray, n_classes: Optional[int]):
         raise NotImplementedError
 

@@ -1,11 +1,17 @@
 """GEE core: the paper's contribution (four implementations + variants)."""
 
 from .api import METHODS, GraphEncoderEmbedding
-from .gee_ligra import UpdateEmbedding, gee_ligra
-from .gee_parallel import gee_parallel
-from .gee_python import gee_python
-from .gee_vectorized import accumulate_edges_vectorized, gee_vectorized
+from .gee_ligra import UpdateEmbedding, gee_ligra, gee_ligra_with_plan
+from .gee_parallel import gee_parallel, gee_parallel_with_plan
+from .gee_python import gee_python, gee_python_with_plan
+from .gee_sparse import gee_sparse, gee_sparse_with_plan
+from .gee_vectorized import (
+    accumulate_edges_vectorized,
+    gee_vectorized,
+    gee_vectorized_with_plan,
+)
 from .laplacian import gee_laplacian, laplacian_reweight, weighted_total_degrees
+from .plan import EmbedPlan, edge_fingerprint
 from .projection import (
     build_projection,
     build_projection_parallel,
@@ -28,12 +34,20 @@ __all__ = [
     "GraphEncoderEmbedding",
     "METHODS",
     "EmbeddingResult",
+    "EmbedPlan",
+    "edge_fingerprint",
     "gee_python",
+    "gee_python_with_plan",
     "gee_vectorized",
+    "gee_vectorized_with_plan",
     "accumulate_edges_vectorized",
     "gee_ligra",
+    "gee_ligra_with_plan",
     "UpdateEmbedding",
     "gee_parallel",
+    "gee_parallel_with_plan",
+    "gee_sparse",
+    "gee_sparse_with_plan",
     "gee_laplacian",
     "laplacian_reweight",
     "weighted_total_degrees",

@@ -195,14 +195,19 @@ class GraphEncoderEmbedding:
 
         ``graph`` is any graph-like input; passing a
         :class:`~repro.graph.facade.Graph` lets repeated fits reuse its
-        cached CSR / Laplacian views.
+        cached views *and* its compiled :class:`~repro.core.plan.EmbedPlan`
+        — fits after the first on the same ``(graph, K)`` skip edge
+        validation, index building and output allocation entirely.
         """
         g = Graph.coerce(graph)
         if g.n_vertices == 0:
             raise ValueError("GEE requires at least one vertex")
         work = g.laplacian if self.laplacian else g
         y, k = validate_labels(labels, g.n_vertices, self.n_classes)
-        self.result_ = self._backend.embed(work, y, k)
+        plan = work.plan(k)
+        # Detach: plan-based embeddings view the plan's reused output
+        # buffer, which the next fit on the same (graph, K) overwrites.
+        self.result_ = self._backend.embed_with_plan(plan, y).detached()
         self.labels_ = y
         self.n_classes = k
         self._scales_ = projection_scales(y, k)

@@ -41,7 +41,7 @@ from .projection import (
 from .result import EmbeddingResult
 from .validation import UNKNOWN_LABEL, validate_edges, validate_labels
 
-__all__ = ["UpdateEmbedding", "gee_ligra"]
+__all__ = ["UpdateEmbedding", "gee_ligra", "gee_ligra_with_plan"]
 
 
 class UpdateEmbedding(AccumulatingEdgeMapFunction):
@@ -209,4 +209,56 @@ def gee_ligra(
         timings={"projection": t1 - t0, "edge_pass": t2 - t1, "total": t2 - t0},
         method=f"gee-ligra[{engine.backend.name}]",
         n_workers=int(workers),
+    )
+
+
+def gee_ligra_with_plan(
+    plan,
+    labels: np.ndarray,
+    *,
+    backend: str = "vectorized",
+    n_workers: Optional[int] = None,
+    atomic: bool = True,
+) -> EmbeddingResult:
+    """GEE via the Ligra engine on a compiled :class:`~repro.core.plan.EmbedPlan`.
+
+    The plan's CSR view was forced at compilation, the output buffer is the
+    plan's reusable one and the dense ``W`` is built lazily — the engine's
+    dense traversal is the only O(s) work per call.  The returned embedding
+    is a view of the plan's output buffer (valid until the next plan-based
+    call on the same plan).
+    """
+    y = plan.validate_labels(labels)
+    k = plan.n_classes
+
+    # Serial/vectorized engines hold no worker resources, so they are
+    # cached on the plan and reused across calls; the thread/process
+    # engines own pools and keep the classic create-use-close lifecycle.
+    cacheable = backend in ("serial", "vectorized")
+    engine = plan._ligra_engines.get(backend) if cacheable else None
+    if engine is None:
+        engine = LigraEngine(plan.csr, backend=backend, n_workers=n_workers)
+        if cacheable:
+            plan._ligra_engines[backend] = engine
+
+    t0 = time.perf_counter()
+    scales = projection_scales(y, k)
+    t1 = time.perf_counter()
+
+    Z = plan.zeroed_output().reshape(plan.n_vertices, k)
+    fn = UpdateEmbedding(Z, y, scales, k, atomic=atomic)
+    engine.edge_map(engine.full_frontier(), fn, mode="dense")
+    t2 = time.perf_counter()
+
+    if not cacheable:
+        engine.close()
+
+    workers = getattr(engine.backend, "n_workers", 1)
+    return EmbeddingResult(
+        embedding=Z,
+        projection_builder=lambda: projection_from_scales(y, scales, k),
+        timings={"projection": t1 - t0, "edge_pass": t2 - t1, "total": t2 - t0},
+        method=f"gee-ligra[{engine.backend.name}]",
+        n_workers=int(workers),
+        buffer_view=True,
     )

@@ -29,11 +29,25 @@ from .projection import projection_from_scales, projection_scales
 from .result import EmbeddingResult
 from .validation import UNKNOWN_LABEL, validate_edges, validate_labels
 
-__all__ = ["gee_vectorized", "accumulate_edges_vectorized", "scatter_add"]
+__all__ = [
+    "gee_vectorized",
+    "gee_vectorized_with_plan",
+    "accumulate_edges_vectorized",
+    "scatter_add",
+]
 
 #: Below this fill ratio (updates per output slot) the sparse scatter path
-#: is cheaper than a dense ``bincount`` over the whole output.
-_SPARSE_THRESHOLD = 0.25
+#: is cheaper than a dense ``bincount`` over the whole output.  Tuned with
+#: ``benchmarks/bench_ablation_scatter.py``: on a 2M-slot output the
+#: ``np.unique`` path wins only below ~2–3 % fill (0.3 ms vs 2.0 ms at
+#: 0.5 %, break-even near 3 %, 3× *slower* by 10 %); the previous 0.25
+#: threshold sent the common 5–25 % regime down the slow sorting path.  A
+#: sort-free "compact the touched slots, bincount the compacted indices"
+#: variant was benchmarked as the replacement candidate and lost to dense
+#: ``bincount`` at every fill ratio (the O(out) mask/cumsum pass costs more
+#: than bincount's single O(out+m) sweep), so the unique path stays for the
+#: very-sparse regime.
+_SPARSE_THRESHOLD = 0.03
 
 
 def scatter_add(out_flat: np.ndarray, flat_idx: np.ndarray, weights: np.ndarray) -> None:
@@ -41,11 +55,10 @@ def scatter_add(out_flat: np.ndarray, flat_idx: np.ndarray, weights: np.ndarray)
 
     Two strategies, chosen by fill ratio:
 
-    * dense — one ``np.bincount`` over the whole output; best when most
-      output slots receive updates (fully labelled graphs);
+    * dense — one ``np.bincount`` over the whole output; best when more
+      than ~3 % of output slots receive updates (see ``_SPARSE_THRESHOLD``);
     * sparse — aggregate duplicates with ``np.unique`` and update only the
-      touched slots; best when few slots are hit, e.g. the paper's protocol
-      where only 10 % of vertices carry labels.
+      touched slots; best when very few slots are hit.
 
     Both are exact; only the summation order (and hence the last bits of
     floating-point rounding) can differ.
@@ -138,4 +151,71 @@ def gee_vectorized(
         timings={"projection": t1 - t0, "edge_pass": t2 - t1, "total": t2 - t0},
         method="gee-vectorized",
         n_workers=1,
+    )
+
+
+def _accumulate_with_plan(
+    Z_flat: np.ndarray, plan, y: np.ndarray, scales: np.ndarray
+) -> None:
+    """The edge pass using a plan's precomputed flat-index components.
+
+    ``flat = src*K + Y[dst]`` becomes one add on the precompiled ``src*K``
+    array; when every vertex is labelled (the refinement loop's regime) the
+    known-label masks are skipped entirely, saving six O(s) boolean-gather
+    copies per call.
+    """
+    y_dst = y[plan.dst]
+    y_src = y[plan.src]
+    if y.size == 0 or y.min() != UNKNOWN_LABEL:
+        # Fully labelled: no masking, use the precompiled components as-is.
+        scatter_add(Z_flat, plan.src_flat + y_dst, scales[plan.dst] * plan.weights)
+        scatter_add(Z_flat, plan.dst_flat + y_src, scales[plan.src] * plan.weights)
+        return
+    known = y_dst != UNKNOWN_LABEL
+    if np.any(known):
+        scatter_add(
+            Z_flat,
+            plan.src_flat[known] + y_dst[known],
+            scales[plan.dst[known]] * plan.weights[known],
+        )
+    known = y_src != UNKNOWN_LABEL
+    if np.any(known):
+        scatter_add(
+            Z_flat,
+            plan.dst_flat[known] + y_src[known],
+            scales[plan.src[known]] * plan.weights[known],
+        )
+
+
+def gee_vectorized_with_plan(plan, labels: np.ndarray) -> EmbeddingResult:
+    """Vectorised GEE on a compiled :class:`~repro.core.plan.EmbedPlan`.
+
+    The label-independent work (edge validation, flat scatter-index
+    components, the output allocation) was done when the plan was compiled;
+    this call only computes scales, zeroes the plan's reusable buffer and
+    runs the scatter-adds.  The dense projection ``W`` is built lazily on
+    first access of ``result.projection``.
+
+    The returned embedding is a view of the plan's output buffer — it is
+    valid until the next plan-based call on the same plan (see
+    :meth:`EmbeddingResult.detached`).
+    """
+    y = plan.validate_labels(labels)
+    k = plan.n_classes
+
+    t0 = time.perf_counter()
+    scales = projection_scales(y, k)
+    t1 = time.perf_counter()
+
+    Z_flat = plan.zeroed_output()
+    _accumulate_with_plan(Z_flat, plan, y, scales)
+    t2 = time.perf_counter()
+
+    return EmbeddingResult(
+        embedding=Z_flat.reshape(plan.n_vertices, k),
+        projection_builder=lambda: projection_from_scales(y, scales, k),
+        timings={"projection": t1 - t0, "edge_pass": t2 - t1, "total": t2 - t0},
+        method="gee-vectorized",
+        n_workers=1,
+        buffer_view=True,
     )

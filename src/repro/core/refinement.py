@@ -7,6 +7,27 @@ the assignment stabilises.  Because each iteration is a single GEE pass plus
 a k-means on an ``n×K`` matrix, the whole loop stays linear in the number of
 edges — and every iteration can use any of the GEE implementations,
 including the parallel one.
+
+Delta-driven iterations
+-----------------------
+After the first couple of rounds the label assignment is nearly stable —
+typically well under 5 % of vertices change per iteration — yet the classic
+loop re-embeds the *entire* graph every round.  The delta path (enabled
+automatically for implementations known to compute the standard raw-weight
+embedding) exploits that the embedding is linear in per-class *raw* edge
+sums::
+
+    S[u, c] = Σ_{(u,v) or (v,u) incident, Y[v]=c} w        Z = S · diag(1/n_c)
+
+``S`` depends on the labels only through class membership, so when a vertex
+``v`` moves from class ``a`` to class ``b`` just the rows of ``v``'s
+neighbours change: ``S[nbr, a] -= w`` and ``S[nbr, b] += w`` for each
+incident edge.  One iteration therefore costs ``O(E_changed)`` scatter work
+plus the ``O(nK)`` rescale (already paid by k-means anyway) instead of
+``O(E)``.  To bound floating-point drift from repeated add/subtract, a full
+re-embed runs every ``full_refresh_every`` iterations (and on the first);
+the equivalence test asserts the delta path tracks a from-scratch embed to
+1e-10.
 """
 
 from __future__ import annotations
@@ -18,8 +39,9 @@ import numpy as np
 
 from ..graph.facade import Graph, GraphLike
 from ..labels.kmeans import kmeans
-from .gee_vectorized import gee_vectorized
+from .gee_vectorized import gee_vectorized, scatter_add
 from .result import EmbeddingResult
+from .validation import class_counts
 
 __all__ = ["RefinementResult", "gee_unsupervised"]
 
@@ -36,6 +58,10 @@ class RefinementResult:
     converged: bool
     history: List[float] = field(default_factory=list)
     final: Optional[EmbeddingResult] = None
+    #: How many iterations ran the full O(E) embed vs. the O(E_changed)
+    #: delta update (introspection for tests and benchmarks).
+    n_full_passes: int = 0
+    n_delta_passes: int = 0
 
 
 def _align_labels(reference: np.ndarray, new: np.ndarray, n_classes: int) -> np.ndarray:
@@ -43,12 +69,16 @@ def _align_labels(reference: np.ndarray, new: np.ndarray, n_classes: int) -> np.
 
     k-means assigns arbitrary cluster ids each round; without alignment the
     loop would never register convergence even when the partition is stable.
-    Alignment uses the Hungarian algorithm on the confusion matrix.
+    Alignment uses the Hungarian algorithm on the confusion matrix, which is
+    built with a single ``bincount`` over the fused index
+    ``new·K + reference`` (``np.add.at`` on a 2-D table goes through the
+    buffered-ufunc path and is an order of magnitude slower).
     """
     from scipy.optimize import linear_sum_assignment
 
-    table = np.zeros((n_classes, n_classes), dtype=np.int64)
-    np.add.at(table, (new, reference), 1)
+    table = np.bincount(
+        new * n_classes + reference, minlength=n_classes * n_classes
+    ).reshape(n_classes, n_classes)
     rows, cols = linear_sum_assignment(-table)
     mapping = np.arange(n_classes, dtype=np.int64)
     mapping[rows] = cols
@@ -62,28 +92,109 @@ def _agreement(a: np.ndarray, b: np.ndarray) -> float:
     return float(np.mean(a == b))
 
 
-def _resolve_implementation(implementation, impl_kwargs: dict):
-    """Normalise the ``implementation`` argument to ``f(graph, y, k)``.
+def _is_standard_kernel(fn) -> bool:
+    """Whether ``fn`` is one of the raw-weight GEE kernels.
 
-    Registered backend names and :class:`~repro.backends.GEEBackend`
-    instances go through the registry (kwargs validate at construction);
-    bare callables keep the historical ``(edges, labels, k, **kwargs)``
-    contract.
+    The delta update scatters the graph's *raw* edge weights, which is only
+    exact for implementations computing the standard ``Z = S·diag(1/n_c)``
+    embedding of the given graph.  Anything that reweights internally
+    (e.g. :func:`~repro.core.laplacian.gee_laplacian`) or is an unknown
+    callable must not be mixed with raw-weight deltas.
+    """
+    from .gee_ligra import gee_ligra
+    from .gee_parallel import gee_parallel
+    from .gee_python import gee_python
+    from .gee_sparse import gee_sparse
+
+    return fn in (gee_python, gee_vectorized, gee_sparse, gee_ligra, gee_parallel)
+
+
+def _resolve_implementation(implementation, impl_kwargs: dict):
+    """Normalise ``implementation`` to ``(full_pass, plan_pass, standard)``.
+
+    ``full_pass(graph, y, k)`` always works; ``plan_pass(plan, y)`` is
+    non-None for registry backends (which all implement the compiled-plan
+    path) and None for bare callables, which keep the historical
+    ``(edges, labels, k, **kwargs)`` contract.  ``standard`` reports
+    whether the implementation computes the raw-weight GEE embedding the
+    delta path is exact for (every registry backend does; bare callables
+    only if they are one of the exported standard kernels).
     """
     from ..backends import GEEBackend, get_backend
 
     if isinstance(implementation, str):
         backend = get_backend(implementation, **impl_kwargs)
-        return backend.embed
+        return backend.embed, backend.embed_with_plan, True
     if isinstance(implementation, GEEBackend):
         if impl_kwargs:
             raise TypeError(
                 "implementation kwargs cannot be combined with a constructed "
                 "backend instance; construct the backend with them instead"
             )
-        return implementation.embed
+        return implementation.embed, implementation.embed_with_plan, True
     # Bare callables receive the EdgeList, per the historical contract.
-    return lambda graph, y, k: implementation(graph.edges, y, k, **impl_kwargs)
+    return (
+        (lambda graph, y, k: implementation(graph.edges, y, k, **impl_kwargs)),
+        None,
+        _is_standard_kernel(implementation),
+    )
+
+
+def _gather_incident(indptr: np.ndarray, indices: np.ndarray, weights: np.ndarray,
+                     vertices: np.ndarray):
+    """Neighbours and weights of every edge in the CSR slices of ``vertices``.
+
+    Returns ``(neighbors, w, owner_repeat)`` where ``owner_repeat[i]`` is
+    the position in ``vertices`` owning edge ``i`` — the standard ragged
+    gather (one ``arange`` + two ``repeat``s, no Python loop).
+    """
+    starts = indptr[vertices]
+    deg = indptr[vertices + 1] - starts
+    total = int(deg.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, np.empty(0, dtype=np.float64), empty
+    cum = np.cumsum(deg)
+    offsets = np.repeat(starts - np.concatenate(([0], cum[:-1])), deg)
+    pos = np.arange(total, dtype=np.int64) + offsets
+    owner = np.repeat(np.arange(vertices.size, dtype=np.int64), deg)
+    return indices[pos], weights[pos], owner
+
+
+def _apply_label_delta(
+    S_flat: np.ndarray, plan, y_old: np.ndarray, y_new: np.ndarray
+) -> int:
+    """Update raw class sums ``S`` for the vertices whose label changed.
+
+    For every changed vertex ``c`` and every incident edge ``(c, nbr)`` or
+    ``(nbr, c)`` with weight ``w``: ``S[nbr, y_old[c]] -= w`` and
+    ``S[nbr, y_new[c]] += w``.  Both edge directions are walked through the
+    plan's CSR (out-edges) and CSC (in-edges) views; the subtract and add
+    are fused into one scatter.  Returns the number of edge endpoints
+    touched (the ``O(E_changed)`` work actually done).
+
+    Assumes fully-known labels (the refinement loop's invariant — k-means
+    assigns every vertex a class).
+    """
+    changed = np.flatnonzero(y_new != y_old)
+    if changed.size == 0:
+        return 0
+    k = plan.n_classes
+    csr = plan.csr
+    touched = 0
+    for indptr, indices, weights in (
+        (csr.indptr, csr.indices, csr.weights),
+        (csr.in_indptr, csr.in_indices, csr.in_weights),
+    ):
+        nbr, w, owner = _gather_incident(indptr, indices, weights, changed)
+        if nbr.size == 0:
+            continue
+        touched += nbr.size
+        base = nbr * k
+        flat = np.concatenate((base + y_old[changed][owner], base + y_new[changed][owner]))
+        delta = np.concatenate((-w, w))
+        scatter_add(S_flat, flat, delta)
+    return touched
 
 
 def gee_unsupervised(
@@ -96,6 +207,9 @@ def gee_unsupervised(
     seed: SeedLike = 0,
     initial_labels: Optional[np.ndarray] = None,
     normalize: bool = True,
+    delta: Union[bool, str] = "auto",
+    full_refresh_every: int = 10,
+    delta_threshold: float = 0.5,
     **impl_kwargs,
 ) -> RefinementResult:
     """Iteratively refine labels and embedding without supervision.
@@ -104,9 +218,10 @@ def gee_unsupervised(
     ----------
     edges:
         The graph (symmetrised for undirected data), as any graph-like
-        input.  The facade's cached CSR view is shared by every iteration,
-        so CSR-consuming backends build the adjacency once per refinement
-        rather than once per round.
+        input.  The facade's cached views — and, for registry backends, its
+        compiled :class:`~repro.core.plan.EmbedPlan` — are shared by every
+        iteration, so no per-round validation or adjacency rebuilding
+        happens.
     n_classes:
         Number of clusters / embedding dimensions ``K``.
     max_iterations:
@@ -115,8 +230,8 @@ def gee_unsupervised(
         Stop when at least this fraction of vertices keeps its label between
         consecutive rounds.
     implementation:
-        Which GEE implementation performs each embedding pass: a registered
-        backend name (``"vectorized"``, ``"parallel"``, ...), a
+        Which GEE implementation performs the *full* embedding passes: a
+        registered backend name (``"vectorized"``, ``"parallel"``, ...), a
         :class:`~repro.backends.GEEBackend` instance, or a bare callable
         with the ``(edges, labels, n_classes, **kwargs)`` signature.
     initial_labels:
@@ -125,6 +240,27 @@ def gee_unsupervised(
     normalize:
         Row-normalise the embedding before clustering (recommended by the
         original GEE paper; keeps hubs from dominating the k-means).
+    delta:
+        Use the incremental O(E_changed) update for iterations after the
+        first (see the module docstring).  The default ``"auto"`` enables
+        it only for implementations known to compute the standard
+        raw-weight GEE embedding (every registry backend, and the exported
+        ``gee_*`` kernels) — the delta scatter replays raw edge weights,
+        so mixing it with an internally-reweighting implementation (e.g.
+        ``gee_laplacian``) or an arbitrary callable would corrupt the
+        embedding.  ``True`` forces it on (you assert compatibility);
+        ``False`` restores the classic full re-embed per round.
+    full_refresh_every:
+        With ``delta=True``, run an exact full re-embed every this many
+        iterations to cancel accumulated floating-point drift.
+    delta_threshold:
+        With ``delta=True``, fall back to a full re-embed for any iteration
+        in which more than this fraction of vertices changed label — the
+        delta scatter walks every incident edge twice (subtract + add), so
+        above roughly half the vertices it does more memory traffic than
+        the full pass.  The early chaotic rounds of a random start
+        therefore run full; the delta path takes over once the assignment
+        settles.
     """
     graph = Graph.coerce(edges)
     if graph.n_vertices == 0:
@@ -133,28 +269,81 @@ def gee_unsupervised(
         raise ValueError("n_classes must be positive")
     if not 0 < convergence_fraction <= 1:
         raise ValueError("convergence_fraction must be in (0, 1]")
-    embed_pass = _resolve_implementation(implementation, impl_kwargs)
+    if full_refresh_every <= 0:
+        raise ValueError("full_refresh_every must be positive")
+    if not 0 < delta_threshold <= 1:
+        raise ValueError("delta_threshold must be in (0, 1]")
+    full_pass, plan_pass, standard = _resolve_implementation(implementation, impl_kwargs)
+    if delta == "auto":
+        delta = standard
+    elif delta not in (True, False):
+        raise ValueError('delta must be True, False or "auto"')
+    delta = bool(delta)
     rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
     n = graph.n_vertices
+    k = int(n_classes)
 
     if initial_labels is not None:
         labels = np.asarray(initial_labels, dtype=np.int64).copy()
         if labels.shape[0] != n:
             raise ValueError("initial_labels must have one entry per vertex")
-        labels = np.where(labels < 0, rng.integers(0, n_classes, size=n), labels)
-        labels = np.minimum(labels, n_classes - 1)
+        labels = np.where(labels < 0, rng.integers(0, k, size=n), labels)
+        labels = np.minimum(labels, k - 1)
     else:
-        labels = rng.integers(0, n_classes, size=n).astype(np.int64)
+        labels = rng.integers(0, k, size=n).astype(np.int64)
+
+    # The plan carries the CSR/CSC views the delta scatter walks, and lets
+    # registry backends run their zero-validation full passes.
+    plan = graph.plan(k) if (delta or plan_pass is not None) else None
+
+    def run_full(y: np.ndarray) -> EmbeddingResult:
+        if plan_pass is not None and plan is not None:
+            return plan_pass(plan, y)
+        return full_pass(graph, y, k)
 
     history: List[float] = []
     converged = False
     result: Optional[EmbeddingResult] = None
+    n_full = n_delta = 0
+    #: Raw class sums S (flat) and the labels they were computed under.
+    S_flat: Optional[np.ndarray] = None
+    labels_of_S: Optional[np.ndarray] = None
+    counts = np.empty(0)
     iteration = 0
     for iteration in range(1, max_iterations + 1):
-        result = embed_pass(graph, labels, n_classes)
-        X = result.normalized() if normalize else result.embedding
-        km = kmeans(X, n_classes, seed=rng)
-        new_labels = _align_labels(labels, km.labels, n_classes)
+        refresh_due = (iteration - 1) % full_refresh_every == 0
+        too_many_changed = (
+            S_flat is not None
+            and labels_of_S is not None
+            and float(np.mean(labels != labels_of_S)) > delta_threshold
+        )
+        if not delta or S_flat is None or refresh_due or too_many_changed:
+            result = run_full(labels)
+            n_full += 1
+            if delta:
+                counts = class_counts(labels, k).astype(np.float64)
+                # Recover raw sums from the scaled embedding: Z = S/n_c.
+                S_flat = (result.embedding * counts[None, :]).ravel()
+                labels_of_S = labels.copy()
+            Z = result.embedding
+        else:
+            assert labels_of_S is not None
+            _apply_label_delta(S_flat, plan, labels_of_S, labels)
+            labels_of_S = labels.copy()
+            n_delta += 1
+            counts = class_counts(labels, k).astype(np.float64)
+            inv = np.where(counts > 0, 1.0 / np.maximum(counts, 1.0), 0.0)
+            Z = S_flat.reshape(n, k) * inv[None, :]
+            result = EmbeddingResult(
+                embedding=Z,
+                projection_builder=lambda y=labels.copy(): _projection_for(y, k),
+                timings={},
+                method="gee-delta",
+                n_workers=1,
+            )
+        X = result.normalized() if normalize else Z
+        km = kmeans(X, k, seed=rng)
+        new_labels = _align_labels(labels, km.labels, k)
         agreement = _agreement(labels, new_labels)
         history.append(agreement)
         labels = new_labels
@@ -163,6 +352,9 @@ def gee_unsupervised(
             break
 
     assert result is not None
+    # Plan-based results view the plan's reused buffer; detach so the
+    # returned embedding survives later embeds on the same graph.
+    result = result.detached()
     return RefinementResult(
         embedding=result.embedding,
         labels=labels,
@@ -170,4 +362,13 @@ def gee_unsupervised(
         converged=converged,
         history=history,
         final=result,
+        n_full_passes=n_full,
+        n_delta_passes=n_delta,
     )
+
+
+def _projection_for(labels: np.ndarray, n_classes: int) -> np.ndarray:
+    from .projection import projection_from_scales, projection_scales
+
+    scales = projection_scales(labels, n_classes)
+    return projection_from_scales(labels, scales, n_classes)

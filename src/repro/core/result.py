@@ -2,15 +2,13 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
 __all__ = ["EmbeddingResult"]
 
 
-@dataclass
 class EmbeddingResult:
     """Output of a GEE run.
 
@@ -19,7 +17,11 @@ class EmbeddingResult:
     embedding:
         ``Z ∈ R^{n×K}`` — the node embeddings (Algorithm 1/2 output).
     projection:
-        ``W ∈ R^{n×K}`` — the projection matrix built from the labels.
+        ``W ∈ R^{n×K}`` — the projection matrix built from the labels.  The
+        fast plan-based paths construct it lazily on first access (the edge
+        pass only ever reads the per-vertex scales, so materialising the
+        dense ``W`` is pure reporting overhead); pass ``projection_builder``
+        instead of ``projection`` for that behaviour.
     timings:
         Wall-clock seconds of the phases an implementation chooses to
         report.  All implementations report ``"total"``; most also report
@@ -31,11 +33,37 @@ class EmbeddingResult:
         Worker count used (1 for the serial implementations).
     """
 
-    embedding: np.ndarray
-    projection: np.ndarray
-    timings: Dict[str, float] = field(default_factory=dict)
-    method: str = "unknown"
-    n_workers: int = 1
+    def __init__(
+        self,
+        embedding: np.ndarray,
+        projection: Optional[np.ndarray] = None,
+        timings: Optional[Dict[str, float]] = None,
+        method: str = "unknown",
+        n_workers: int = 1,
+        *,
+        projection_builder: Optional[Callable[[], np.ndarray]] = None,
+        buffer_view: bool = False,
+    ) -> None:
+        if projection is None and projection_builder is None:
+            raise TypeError("provide either projection or projection_builder")
+        self.embedding = embedding
+        self._projection = projection
+        self._projection_builder = projection_builder
+        self.timings: Dict[str, float] = {} if timings is None else timings
+        self.method = method
+        self.n_workers = n_workers
+        #: Whether ``embedding`` aliases a plan's reused output buffer (set
+        #: by the buffer-reusing plan kernels; makes :meth:`detached` cheap
+        #: for everything else).
+        self.buffer_view = buffer_view
+
+    @property
+    def projection(self) -> np.ndarray:
+        """The projection matrix ``W`` (built lazily for plan-based runs)."""
+        if self._projection is None:
+            assert self._projection_builder is not None
+            self._projection = self._projection_builder()
+        return self._projection
 
     @property
     def n_vertices(self) -> int:
@@ -62,3 +90,31 @@ class EmbeddingResult:
         norms = np.linalg.norm(self.embedding, axis=1, keepdims=True)
         norms[norms == 0] = 1.0
         return self.embedding / norms
+
+    def detached(self) -> "EmbeddingResult":
+        """A result whose embedding no longer aliases a plan's reused buffer.
+
+        The buffer-reusing plan kernels write into a per-plan output buffer
+        that the *next* ``embed_with_plan`` call on the same plan
+        overwrites; call this before storing a result beyond the next
+        embed.  Results that own their embedding (``buffer_view=False``)
+        are returned as-is — no copy.
+        """
+        if not self.buffer_view:
+            return self
+        clone = EmbeddingResult(
+            embedding=np.array(self.embedding, dtype=np.float64, copy=True),
+            projection=self._projection,
+            timings=self.timings,
+            method=self.method,
+            n_workers=self.n_workers,
+            projection_builder=self._projection_builder,
+        )
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        n, k = self.embedding.shape
+        return (
+            f"EmbeddingResult(n={n}, K={k}, method={self.method!r}, "
+            f"n_workers={self.n_workers})"
+        )

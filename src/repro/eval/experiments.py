@@ -60,9 +60,18 @@ __all__ = [
 #: implementation consumes the shared Graph facade, whose CSR view is forced
 #: outside the timed region — Ligra's input is a loaded graph, and graph
 #: loading is not part of the paper's timed region.
+#:
+#: ``scipy-sparse`` is an extra (non-paper) Table I reference column: the
+#: whole edge pass as one ``(A + Aᵀ)·W`` CSR matmul through the ``sparse``
+#: backend — a C-speed serial point showing what a generic sparse-linear-
+#: algebra stack achieves without the paper's formulation.  It sits beside
+#: "numba-serial" conceptually but is not part of ``TABLE1_COLUMNS`` (the
+#: paper's own four columns, which the speedup ratios are defined over);
+#: pass ``extra_columns=("scipy-sparse",)`` to :func:`table1` to measure it.
 IMPLEMENTATIONS: Dict[str, str] = {
     "gee-python": "python",
     "numba-serial": "vectorized",
+    "scipy-sparse": "sparse",
     "ligra-serial": "ligra-vectorized",
     "ligra-parallel": "parallel",
 }
@@ -124,12 +133,15 @@ def table1(
     n_workers: Optional[int] = None,
     include_python: bool = True,
     datasets: Optional[Sequence[str]] = None,
+    extra_columns: Sequence[str] = (),
 ) -> List[Dict[str, object]]:
     """Regenerate Table I on the scaled stand-in graphs.
 
     Returns one row per graph with the measured runtime of every
     implementation, the three speedup columns the paper reports, and the
-    paper's own speedups for reference.
+    paper's own speedups for reference.  ``extra_columns`` names additional
+    :data:`IMPLEMENTATIONS` columns to measure alongside the paper's four
+    (e.g. ``("scipy-sparse",)`` for the C-speed sparse-matmul reference).
     """
     rows: List[Dict[str, object]] = []
     pairs = (
@@ -149,7 +161,7 @@ def table1(
             "s": edges.n_edges,
         }
         columns = TABLE1_COLUMNS if include_python else TABLE1_COLUMNS[1:]
-        for name in columns:
+        for name in (*columns, *extra_columns):
             row[name] = run_implementation(
                 name, graph, y, n_classes, repeats=repeats, n_workers=n_workers
             )
@@ -409,13 +421,15 @@ def ablation_projection_init(
 # Command-line interface
 # --------------------------------------------------------------------------- #
 def _print_table1(args) -> None:
+    extra = ("scipy-sparse",) if getattr(args, "with_sparse", False) else ()
     rows = table1(
         scale=args.scale,
         repeats=args.repeats,
         include_python=not args.skip_python,
         n_workers=args.workers,
+        extra_columns=extra,
     )
-    cols = ["graph", "n", "s", *TABLE1_COLUMNS, "speedup_vs_python", "speedup_vs_numba", "speedup_vs_ligra_serial"]
+    cols = ["graph", "n", "s", *TABLE1_COLUMNS, *extra, "speedup_vs_python", "speedup_vs_numba", "speedup_vs_ligra_serial"]
     print("Table I (measured, scaled stand-ins)\n")
     print(format_markdown_table(rows, cols))
 
@@ -485,6 +499,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--min-log2", type=int, default=13, help="figure4: smallest log2(edges)")
     parser.add_argument("--max-log2", type=int, default=19, help="figure4: largest log2(edges)")
     parser.add_argument("--skip-python", action="store_true", help="skip the pure-Python baseline")
+    parser.add_argument(
+        "--with-sparse",
+        action="store_true",
+        help="table1: add the scipy-sparse (A+A^T)W matmul reference column",
+    )
     args = parser.parse_args(argv)
 
     dispatch = {

@@ -23,7 +23,7 @@ pays for each view once.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -59,11 +59,24 @@ class Graph:
             raise TypeError(f"Graph wraps an EdgeList, got {type(edges)!r}")
         self._edges = edges
         self._csr: Optional[CSRGraph] = csr
+        #: Whether a caller-supplied CSR is the source of truth (the edge
+        #: list view is then a derived snapshot).
+        self._adopted_csr = csr is not None
         self._reverse_csr: Optional[CSRGraph] = None
         self._laplacian: Optional["Graph"] = None
         self._out_degrees: Optional[np.ndarray] = None
         self._in_degrees: Optional[np.ndarray] = None
         self._weighted_degrees: Optional[np.ndarray] = None
+        #: K -> compiled EmbedPlan (see :meth:`plan`), oldest-first.
+        self._plans: Dict[int, object] = {}
+        #: Fingerprint of the edge data at the time the CSR view was built
+        #: (see :meth:`plan` — detects mutations that happen between view
+        #: construction and the first plan compilation).
+        self._view_fingerprint = None
+
+    #: Cap on cached plans per graph (each holds two s-length flat-index
+    #: arrays and an n*K buffer); oldest is evicted beyond this.
+    _MAX_PLANS = 8
 
     # ------------------------------------------------------------------ #
     # Coercion
@@ -104,7 +117,13 @@ class Graph:
         """The canonical edge-list view (built lazily from an adopted CSR)."""
         if self._edges is None:
             assert self._csr is not None
+            from ..core.plan import csr_fingerprint
+
             self._edges = self._csr.to_edgelist()
+            # Record what the adopted CSR looked like when this snapshot
+            # was taken, so a later plan() can tell whether the CSR was
+            # mutated in between.
+            self._view_fingerprint = csr_fingerprint(self._csr)
         return self._edges
 
     @property
@@ -153,7 +172,12 @@ class Graph:
     def csr(self) -> CSRGraph:
         """The CSR out-adjacency (built once, then cached)."""
         if self._csr is None:
+            from ..core.plan import edge_fingerprint
+
             self._csr = CSRGraph.from_edgelist(self._edges)
+            # Record what the edges looked like when this view was built,
+            # so a later plan() can tell whether they were mutated since.
+            self._view_fingerprint = edge_fingerprint(self._edges)
         return self._csr
 
     @property
@@ -208,6 +232,95 @@ class Graph:
                 laplacian_reweight(self.edges, degrees=self.weighted_total_degrees)
             )
         return self._laplacian
+
+    # ------------------------------------------------------------------ #
+    # Compiled embed plans
+    # ------------------------------------------------------------------ #
+    def plan(self, n_classes: int):
+        """The compiled :class:`~repro.core.plan.EmbedPlan` for ``K`` classes.
+
+        The plan — validated edge arrays, ``u*K`` / ``v*K`` flat scatter
+        indices, CSR/CSC adjacency views, degree vectors and a reusable
+        output buffer — is built on first request and cached, so repeated
+        ``embed_with_plan`` calls (backend sweeps, worker sweeps, the
+        refinement loop) pay the label-independent work exactly once.
+
+        A different ``K`` compiles a separate plan.  If the underlying edge
+        arrays changed since compilation (detected via a sampled
+        fingerprint — best-effort for in-place mutation, exact for array
+        replacement), every cached view is dropped and the plan recompiled.
+        """
+        from ..core.plan import EmbedPlan, csr_fingerprint, edge_fingerprint
+
+        k = int(n_classes)
+        # Fingerprint the source of truth: a CSR-adopted graph's edge list
+        # is a derived snapshot, so sampling it would never see CSR
+        # mutations.
+        if self._adopted_csr:
+            fingerprint = csr_fingerprint(self._csr)
+        else:
+            fingerprint = edge_fingerprint(self.edges)
+        # A plan must never pair fresh edge arrays with stale derived
+        # views.  The baseline fingerprint is whichever is older: the one
+        # the cached plans were compiled under (a mismatch clears the lot),
+        # or — before any plan exists — the one recorded when the CSR view
+        # was built from the edges.
+        baseline = None
+        if self._plans:
+            baseline = next(iter(self._plans.values())).fingerprint
+        else:
+            # Recorded when the CSR view (non-adopted) or the edge-list
+            # snapshot (adopted CSR) was built — same fingerprint kind as
+            # `fingerprint` in each case.
+            baseline = self._view_fingerprint
+        if baseline is not None and baseline != fingerprint:
+            self.invalidate_cache()
+        cached = self._plans.get(k)
+        if cached is not None:
+            return cached
+        if len(self._plans) >= self._MAX_PLANS:
+            # Drop the oldest plan (insertion order) — K sweeps beyond the
+            # cap would otherwise pin one flat-index pair + buffer per K.
+            self._plans.pop(next(iter(self._plans)))
+        plan = EmbedPlan(self, k, fingerprint=fingerprint)
+        self._plans[k] = plan
+        return plan
+
+    def invalidate_cache(self) -> None:
+        """Drop every cached derived view and compiled plan.
+
+        Call this after mutating the underlying edge arrays in place;
+        :meth:`plan` also calls it when its fingerprint check detects a
+        mutation.
+        """
+        if self._adopted_csr:
+            # The adopted CSR is the source of truth: drop the derived
+            # edge-list snapshot (it may predate a CSR mutation) and keep
+            # the CSR itself — but reset its internal in-adjacency cache
+            # and its shared-memory copy in the parallel kernel's cache,
+            # both of which a mutation also staled.
+            self._edges = None
+            assert self._csr is not None
+            self._csr._in_indptr = None
+            self._csr._in_indices = None
+            self._csr._in_weights = None
+            self._csr._in_edge_pos = None
+            from ..core.gee_parallel import evict_shared_graph
+
+            evict_shared_graph(self._csr)
+        else:
+            if self._csr is not None:
+                from ..core.gee_parallel import evict_shared_graph
+
+                evict_shared_graph(self._csr)
+            self._csr = None
+        self._reverse_csr = None
+        self._laplacian = None
+        self._out_degrees = None
+        self._in_degrees = None
+        self._weighted_degrees = None
+        self._view_fingerprint = None
+        self._plans.clear()
 
     # ------------------------------------------------------------------ #
     # Conversions
