@@ -35,7 +35,7 @@ from .core import (
     gee_unsupervised,
     gee_vectorized,
 )
-from .graph import CSRGraph, EdgeList, Graph, as_graph
+from .graph import ChunkedEdgeSource, CSRGraph, EdgeList, Graph, as_graph
 from .ligra import LigraEngine, VertexSubset
 
 __version__ = "1.1.0"
@@ -53,6 +53,7 @@ __all__ = [
     "CSRGraph",
     "Graph",
     "as_graph",
+    "ChunkedEdgeSource",
     "GEEBackend",
     "get_backend",
     "list_backends",

@@ -35,10 +35,18 @@ from typing import Optional
 import numpy as np
 
 from ..core.gee_ligra import gee_ligra, gee_ligra_with_plan
-from ..core.gee_parallel import gee_parallel, gee_parallel_with_plan
+from ..core.gee_parallel import (
+    gee_parallel,
+    gee_parallel_chunked,
+    gee_parallel_with_plan,
+)
 from ..core.gee_python import gee_python, gee_python_with_plan
-from ..core.gee_sparse import gee_sparse, gee_sparse_with_plan
-from ..core.gee_vectorized import gee_vectorized, gee_vectorized_with_plan
+from ..core.gee_sparse import gee_sparse, gee_sparse_chunked, gee_sparse_with_plan
+from ..core.gee_vectorized import (
+    gee_vectorized,
+    gee_vectorized_chunked,
+    gee_vectorized_with_plan,
+)
 from ..graph.facade import Graph
 from .registry import BackendCapabilities, GEEBackend, register_backend
 
@@ -73,6 +81,7 @@ class PythonLoopBackend(GEEBackend):
 @register_backend(
     "vectorized",
     capabilities=BackendCapabilities(
+        supports_chunked=True,
         description="single-core NumPy scatter-add edge pass (compiled-serial stand-in)",
     ),
 )
@@ -89,15 +98,20 @@ class VectorizedGEEBackend(GEEBackend):
     def _embed_with_plan(self, plan, labels: np.ndarray):
         if self.chunk_edges is not None:
             # Chunked runs exist to bound temporary-array size; the plan's
-            # precompiled full-length index components defeat that, so fall
-            # back to the classic chunked kernel on the plan's graph.
-            return self._embed(plan.graph, labels, plan.n_classes)
+            # precompiled full-length index components defeat that, so
+            # re-plan the graph chunked (cached per chunk size) and stream.
+            chunked = plan.graph.plan(plan.n_classes, chunk_edges=self.chunk_edges)
+            return gee_vectorized_chunked(chunked, labels)
         return gee_vectorized_with_plan(plan, labels)
+
+    def _embed_with_chunked_plan(self, plan, labels: np.ndarray):
+        return gee_vectorized_chunked(plan, labels)
 
 
 @register_backend(
     "sparse",
     capabilities=BackendCapabilities(
+        supports_chunked=True,
         description="scipy.sparse CSR matmul (A + A^T)W — C-speed serial reference",
     ),
 )
@@ -114,6 +128,9 @@ class SparseMatmulGEEBackend(GEEBackend):
 
     def _embed_with_plan(self, plan, labels: np.ndarray):
         return gee_sparse_with_plan(plan, labels)
+
+    def _embed_with_chunked_plan(self, plan, labels: np.ndarray):
+        return gee_sparse_chunked(plan, labels)
 
 
 class _LigraGEEBackend(GEEBackend):
@@ -202,6 +219,7 @@ class LigraProcessesGEEBackend(_LigraGEEBackend):
         supports_n_workers=True,
         parallel=True,
         deterministic=True,
+        supports_chunked=True,
         description="owner-computes row partition over a persistent fork pool",
     ),
 )
@@ -209,7 +227,11 @@ class ProcessParallelGEEBackend(GEEBackend):
     """The strong-scaling kernel: owner-computes rows, shared-memory output.
 
     Deterministic despite being parallel — every embedding row is computed
-    start-to-finish by exactly one worker in a fixed traversal order.
+    start-to-finish by exactly one worker in a fixed traversal order.  The
+    chunked (out-of-core) path trades that row partition for per-worker
+    chunk slabs with private partials and one reduction, keeping the
+    bounded-memory guarantee on the edge side; it too is deterministic
+    (fixed slab assignment, fixed reduction order).
     """
 
     def _embed(self, graph: Graph, labels: np.ndarray, n_classes: Optional[int]):
@@ -217,3 +239,6 @@ class ProcessParallelGEEBackend(GEEBackend):
 
     def _embed_with_plan(self, plan, labels: np.ndarray):
         return gee_parallel_with_plan(plan, labels, n_workers=self.n_workers)
+
+    def _embed_with_chunked_plan(self, plan, labels: np.ndarray):
+        return gee_parallel_chunked(plan, labels, n_workers=self.n_workers)

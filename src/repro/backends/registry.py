@@ -61,6 +61,12 @@ class BackendCapabilities:
         Whether repeated runs on identical inputs are bit-for-bit
         reproducible (concurrent accumulation reorders floating-point sums,
         so the threads/processes schedules are not).
+    supports_chunked:
+        Whether the backend executes the out-of-core chunked path: a
+        :class:`~repro.graph.io.ChunkedEdgeSource` input to :meth:`embed`,
+        or a :class:`~repro.core.plan.ChunkedPlan` to
+        :meth:`embed_with_plan`.  Backends without this capability reject
+        both instead of silently materialising the edges.
     description:
         One-line human-readable summary shown by discovery helpers.
     """
@@ -69,6 +75,7 @@ class BackendCapabilities:
     supports_n_workers: bool = False
     parallel: bool = False
     deterministic: bool = True
+    supports_chunked: bool = False
     description: str = ""
 
 
@@ -121,9 +128,30 @@ class GEEBackend:
         Coerces ``graph`` through :meth:`Graph.coerce` (cached views are
         reused when a :class:`Graph` is passed) and returns an
         :class:`~repro.core.result.EmbeddingResult`.
+
+        A :class:`~repro.graph.io.ChunkedEdgeSource` is accepted by
+        backends declaring the ``supports_chunked`` capability and executes
+        the bounded-memory chunked path (the source is never materialised);
+        other backends reject it.
         """
         from ..graph.facade import Graph
+        from ..graph.io import ChunkedEdgeSource
 
+        if isinstance(graph, ChunkedEdgeSource):
+            self._check_chunked_input(graph.is_weighted)
+            from ..core.plan import ChunkedPlan
+            from ..core.validation import infer_n_classes
+
+            # Only K is needed to compile the plan; the full O(n) label
+            # validation happens exactly once, inside the dispatched kernel
+            # (the same contract as embed_with_plan).
+            k = infer_n_classes(labels) if n_classes is None else int(n_classes)
+            if k <= 0:
+                raise ValueError(
+                    "could not infer a positive number of classes; provide "
+                    "n_classes or at least one labelled vertex"
+                )
+            return self._embed_with_chunked_plan(ChunkedPlan(graph, k), labels)
         g = Graph.coerce(graph)
         # Capability first: is_weighted can cost an O(s) scan on CSR-adopted
         # graphs, and every current backend supports weights.
@@ -148,7 +176,16 @@ class GEEBackend:
 
         Label validation (the only per-call O(n) check left) happens
         exactly once, inside the dispatched kernel.
+
+        A :class:`~repro.core.plan.ChunkedPlan` (from
+        ``graph.plan(K, chunk_edges=...)`` or a standalone
+        :class:`~repro.graph.io.ChunkedEdgeSource`) routes to the
+        bounded-memory chunked kernel; backends without the
+        ``supports_chunked`` capability reject it.
         """
+        if getattr(plan, "is_chunked", False):
+            self._check_chunked_input(plan.source.is_weighted)
+            return self._embed_with_chunked_plan(plan, labels)
         if not type(self).capabilities.supports_weights and plan.graph.is_weighted:
             raise ValueError(
                 f"backend {type(self).name!r} does not support weighted graphs"
@@ -160,6 +197,28 @@ class GEEBackend:
         # graph still contributes its cached CSR views.
         y = plan.validate_labels(labels)
         return self._embed(plan.graph, y, plan.n_classes)
+
+    def _check_chunked_input(self, is_weighted: bool) -> None:
+        """Gate a chunked input (source or plan) on the declared capabilities."""
+        caps = type(self).capabilities
+        if not caps.supports_chunked:
+            raise ValueError(
+                f"backend {type(self).name!r} does not support chunked "
+                "(out-of-core) execution; chunk-capable backends: "
+                f"{[n for n in list_backends() if backend_capabilities(n).supports_chunked]}"
+            )
+        if not caps.supports_weights and is_weighted:
+            raise ValueError(
+                f"backend {type(self).name!r} does not support weighted graphs"
+            )
+
+    def _embed_with_chunked_plan(self, plan, labels: np.ndarray):
+        # Only reachable for backends declaring supports_chunked; they must
+        # provide the kernel.
+        raise NotImplementedError(  # pragma: no cover - contract guard
+            f"backend {type(self).name!r} declares supports_chunked but does "
+            "not implement _embed_with_chunked_plan"
+        )
 
     def _embed(self, graph, labels: np.ndarray, n_classes: Optional[int]):
         raise NotImplementedError

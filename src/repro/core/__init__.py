@@ -2,16 +2,17 @@
 
 from .api import METHODS, GraphEncoderEmbedding
 from .gee_ligra import UpdateEmbedding, gee_ligra, gee_ligra_with_plan
-from .gee_parallel import gee_parallel, gee_parallel_with_plan
+from .gee_parallel import gee_parallel, gee_parallel_chunked, gee_parallel_with_plan
 from .gee_python import gee_python, gee_python_with_plan
-from .gee_sparse import gee_sparse, gee_sparse_with_plan
+from .gee_sparse import gee_sparse, gee_sparse_chunked, gee_sparse_with_plan
 from .gee_vectorized import (
     accumulate_edges_vectorized,
     gee_vectorized,
+    gee_vectorized_chunked,
     gee_vectorized_with_plan,
 )
 from .laplacian import gee_laplacian, laplacian_reweight, weighted_total_degrees
-from .plan import EmbedPlan, edge_fingerprint
+from .plan import ChunkedPlan, EmbedPlan, edge_fingerprint
 from .projection import (
     build_projection,
     build_projection_parallel,
@@ -35,19 +36,23 @@ __all__ = [
     "METHODS",
     "EmbeddingResult",
     "EmbedPlan",
+    "ChunkedPlan",
     "edge_fingerprint",
     "gee_python",
     "gee_python_with_plan",
     "gee_vectorized",
     "gee_vectorized_with_plan",
+    "gee_vectorized_chunked",
     "accumulate_edges_vectorized",
     "gee_ligra",
     "gee_ligra_with_plan",
     "UpdateEmbedding",
     "gee_parallel",
     "gee_parallel_with_plan",
+    "gee_parallel_chunked",
     "gee_sparse",
     "gee_sparse_with_plan",
+    "gee_sparse_chunked",
     "gee_laplacian",
     "laplacian_reweight",
     "weighted_total_degrees",

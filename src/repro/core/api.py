@@ -190,7 +190,14 @@ class GraphEncoderEmbedding:
         self._stream_labels_ = None
         self._stream_touched_ = None
 
-    def fit(self, graph: GraphLike, labels: np.ndarray) -> "GraphEncoderEmbedding":
+    def fit(
+        self,
+        graph: GraphLike,
+        labels: np.ndarray,
+        *,
+        chunk_edges: Optional[int] = None,
+        memory_budget_bytes: Optional[int] = None,
+    ) -> "GraphEncoderEmbedding":
         """Semi-supervised fit: embed using the given (partial) labels.
 
         ``graph`` is any graph-like input; passing a
@@ -198,16 +205,45 @@ class GraphEncoderEmbedding:
         cached views *and* its compiled :class:`~repro.core.plan.EmbedPlan`
         — fits after the first on the same ``(graph, K)`` skip edge
         validation, index building and output allocation entirely.
+
+        Out-of-core fits: pass a
+        :class:`~repro.graph.io.ChunkedEdgeSource` as ``graph`` (the edges
+        are streamed from their memory-mapped store, never materialised), or
+        set ``chunk_edges`` / ``memory_budget_bytes`` on an in-memory input
+        to bound the edge pass's temporary working set.  Both require a
+        backend whose capabilities declare ``supports_chunked``
+        (``vectorized``, ``sparse``, ``parallel``).
         """
-        g = Graph.coerce(graph)
-        if g.n_vertices == 0:
-            raise ValueError("GEE requires at least one vertex")
-        work = g.laplacian if self.laplacian else g
-        y, k = validate_labels(labels, g.n_vertices, self.n_classes)
-        plan = work.plan(k)
+        from ..graph.io import ChunkedEdgeSource
+
+        if isinstance(graph, ChunkedEdgeSource):
+            if self.laplacian:
+                raise ValueError(
+                    "laplacian=True is not supported with a ChunkedEdgeSource: "
+                    "the reweighting needs a degree pass over the whole graph"
+                )
+            source = graph
+            if chunk_edges is not None or memory_budget_bytes is not None:
+                source = source.reblocked(
+                    chunk_edges=chunk_edges, memory_budget_bytes=memory_budget_bytes
+                )
+            y, k = validate_labels(labels, source.n_vertices, self.n_classes)
+            from .plan import ChunkedPlan
+
+            result = self._backend.embed_with_plan(ChunkedPlan(source, k), y)
+        else:
+            g = Graph.coerce(graph)
+            if g.n_vertices == 0:
+                raise ValueError("GEE requires at least one vertex")
+            work = g.laplacian if self.laplacian else g
+            y, k = validate_labels(labels, g.n_vertices, self.n_classes)
+            plan = work.plan(
+                k, chunk_edges=chunk_edges, memory_budget_bytes=memory_budget_bytes
+            )
+            result = self._backend.embed_with_plan(plan, y)
         # Detach: plan-based embeddings view the plan's reused output
         # buffer, which the next fit on the same (graph, K) overwrites.
-        self.result_ = self._backend.embed_with_plan(plan, y).detached()
+        self.result_ = result.detached()
         self.labels_ = y
         self.n_classes = k
         self._scales_ = projection_scales(y, k)
@@ -225,8 +261,14 @@ class GraphEncoderEmbedding:
         *,
         max_iterations: int = 20,
         seed: Optional[int] = 0,
+        chunk_edges: Optional[int] = None,
     ) -> "GraphEncoderEmbedding":
-        """Unsupervised fit via the embed → cluster → re-embed loop."""
+        """Unsupervised fit via the embed → cluster → re-embed loop.
+
+        ``chunk_edges`` bounds the temporary working set of the loop's full
+        embedding passes (see :func:`~repro.core.refinement.gee_unsupervised`);
+        the delta passes already touch only changed edges.
+        """
         if self.n_classes is None:
             raise ValueError("n_classes must be set for unsupervised fitting")
         work = self._prepare_graph(graph)
@@ -236,6 +278,7 @@ class GraphEncoderEmbedding:
             max_iterations=max_iterations,
             implementation=self._backend,
             seed=seed,
+            chunk_edges=chunk_edges,
         )
         self.result_ = refinement.final
         self.labels_ = refinement.labels
@@ -361,12 +404,15 @@ class GraphEncoderEmbedding:
                 # The fitted graph's edges are gone; conservatively freeze
                 # every fitted vertex's label.
                 self._stream_touched_ = np.ones(self._stream_labels_.shape[0], dtype=bool)
-            elif labels is None:
+            elif labels is None and self.n_classes is None:
                 raise ValueError(
-                    "the first partial_fit call must provide labels "
-                    "(or follow a batch fit to continue streaming from it)"
+                    "the first partial_fit call must provide labels or the "
+                    "estimator must be constructed with n_classes (or follow "
+                    "a batch fit to continue streaming from it)"
                 )
             else:
+                # With an explicit n_classes, streaming may start unlabelled
+                # (every vertex arrives as unknown until labels extend it).
                 self._stream_labels_ = np.empty(0, dtype=np.int64)
                 self._stream_sums_ = np.zeros((0, 0), dtype=np.float64)
                 self._stream_touched_ = np.zeros(0, dtype=bool)

@@ -66,6 +66,7 @@ from .validation import UNKNOWN_LABEL, validate_edges, validate_labels
 __all__ = [
     "gee_parallel",
     "gee_parallel_with_plan",
+    "gee_parallel_chunked",
     "owner_rows_accumulate",
     "shutdown_workers",
 ]
@@ -468,6 +469,174 @@ def _run_ranges(
         return np.array(workspace.Z, dtype=np.float64, copy=True)
     np.copyto(out, workspace.Z)
     return out
+
+
+def _chunked_pool_task(
+    _context: dict,
+    handles: Dict[str, SharedArrayHandle],
+    source_token: dict,
+    chunk_lo: int,
+    chunk_hi: int,
+    n_classes: int,
+    slot: int,
+) -> None:
+    """Worker task for the out-of-core path: accumulate one chunk slab.
+
+    Re-opens the edge source inside the worker — a file-backed store is
+    memory-mapped independently (no edge data ever travels between
+    processes); an in-memory source reads the shared-memory copy staged by
+    the caller.  The slab's contributions go into this task's private row of
+    the shared ``partials`` matrix; no two tasks write the same row, and
+    the caller reduces with one sum.
+
+    Attaches per call (chunked calls ship a fresh segment set, unlike the
+    long-lived workspace of the dense path) and detaches before returning
+    so per-call segments are never pinned by worker-side caches.
+    """
+    from ..graph.io import ChunkedEdgeSource
+    from .gee_vectorized import accumulate_chunked_plan
+    from .plan import ChunkedPlan
+
+    views, segments = attach_many(handles)
+    try:
+        if source_token["kind"] == "file":
+            source = ChunkedEdgeSource.open(
+                source_token["path"], chunk_edges=source_token["chunk_edges"]
+            )
+        else:
+            source = ChunkedEdgeSource(
+                views["e_src"],
+                views["e_dst"],
+                views.get("e_weights"),
+                source_token["n_vertices"],
+                chunk_edges=source_token["chunk_edges"],
+            )
+        plan = ChunkedPlan(source, n_classes)
+        accumulate_chunked_plan(
+            views["partials"][slot],
+            plan,
+            views["labels"],
+            views["scales"],
+            chunk_lo,
+            chunk_hi,
+        )
+    finally:
+        del views
+        for seg in segments:
+            seg.close()
+
+
+def gee_parallel_chunked(
+    plan,
+    labels: np.ndarray,
+    *,
+    n_workers: Optional[int] = None,
+) -> EmbeddingResult:
+    """Out-of-core process-parallel GEE on a :class:`~repro.core.plan.ChunkedPlan`.
+
+    The source's chunks are split into contiguous slabs, one per worker;
+    each worker streams its slab under the same per-chunk memory bound as
+    the serial chunked kernel and accumulates into a private ``(n*K,)``
+    partial in shared memory, which the caller reduces with one sum.  A
+    file-backed source is re-opened (memory-mapped) inside each worker, so
+    the only per-call interprocess traffic is the label/scale vectors and
+    the partials — never edge data.  For an in-memory source the edge
+    arrays are staged into shared memory once per call.
+
+    Vertex-side state still has to fit: the reduction holds one ``n*K``
+    partial per worker (out-of-core bounds the *edge*-side working set).
+    Worker-count semantics follow :func:`gee_parallel` (an explicit request
+    sizes the pool exactly or raises), with one structural cap: a call can
+    run at most one worker per chunk, so the result's ``n_workers`` reports
+    the slab count actually executed (``min(requested, n_chunks)``), never
+    the nominal request.
+    """
+    from .gee_vectorized import accumulate_chunked_plan
+
+    y = plan.validate_labels(labels)
+    k = plan.n_classes
+    n = plan.n_vertices
+    timings: Dict[str, float] = {}
+
+    explicit = n_workers is not None and int(n_workers) > 0
+    requested = resolve_worker_count(n_workers)
+    if explicit and requested > 1 and not fork_available():
+        raise RuntimeError(
+            f"gee_parallel: n_workers={requested} requested but the 'fork' start "
+            "method is unavailable on this platform; pass n_workers=1 (or None "
+            "for the automatic fallback)"
+        )
+
+    t0 = time.perf_counter()
+    scales = projection_scales(y, k)
+    t1 = time.perf_counter()
+    timings["projection"] = t1 - t0
+
+    source = plan.source
+    n_chunks = source.n_chunks
+    if requested == 1 or not fork_available() or n_chunks <= 1:
+        Z_flat = plan.zeroed_output()
+        accumulate_chunked_plan(Z_flat, plan, y, scales)
+        workers = 1
+        Z = Z_flat.reshape(n, k)
+        t2 = time.perf_counter()
+        timings["edge_pass"] = t2 - t1
+    else:
+        n_tasks = min(requested, n_chunks)
+        workers = n_tasks
+        cuts = np.linspace(0, n_chunks, n_tasks + 1).astype(np.int64)
+        t_share = time.perf_counter()
+        pool = _get_pool(requested)
+        shm = SharedArraySet()
+        try:
+            shm.share("labels", y)
+            shm.share("scales", scales)
+            partials = shm.zeros("partials", (n_tasks, n * k), np.float64)
+            if source.path is not None:
+                token = {
+                    "kind": "file",
+                    "path": str(source.path),
+                    "chunk_edges": source.chunk_edges,
+                }
+            else:
+                shm.share("e_src", np.asarray(source.src, dtype=np.int64))
+                shm.share("e_dst", np.asarray(source.dst, dtype=np.int64))
+                if source.weights is not None:
+                    shm.share(
+                        "e_weights", np.asarray(source.weights, dtype=np.float64)
+                    )
+                token = {
+                    "kind": "shm",
+                    "n_vertices": n,
+                    "chunk_edges": source.chunk_edges,
+                }
+            handles = shm.handles()
+            timings["preprocess"] = time.perf_counter() - t_share
+            t_edge = time.perf_counter()
+            pool.map(
+                _chunked_pool_task,
+                [
+                    (handles, token, int(cuts[i]), int(cuts[i + 1]), k, i)
+                    for i in range(n_tasks)
+                ],
+            )
+            Z_flat = plan.zeroed_output()
+            np.sum(partials, axis=0, out=Z_flat)
+            Z = Z_flat.reshape(n, k)
+            t2 = time.perf_counter()
+            timings["edge_pass"] = t2 - t_edge
+        finally:
+            shm.close()
+    timings["total"] = t2 - t0
+
+    return EmbeddingResult(
+        embedding=Z,
+        projection_builder=lambda: projection_from_scales(y, scales, k),
+        timings=timings,
+        method="gee-parallel",
+        n_workers=workers,
+        buffer_view=True,
+    )
 
 
 def gee_parallel_with_plan(

@@ -32,7 +32,9 @@ from .validation import UNKNOWN_LABEL, validate_edges, validate_labels
 __all__ = [
     "gee_vectorized",
     "gee_vectorized_with_plan",
+    "gee_vectorized_chunked",
     "accumulate_edges_vectorized",
+    "accumulate_chunked_plan",
     "scatter_add",
 ]
 
@@ -185,6 +187,68 @@ def _accumulate_with_plan(
             plan.dst_flat[known] + y_src[known],
             scales[plan.src[known]] * plan.weights[known],
         )
+
+
+def accumulate_chunked_plan(
+    Z_flat: np.ndarray,
+    plan,
+    y: np.ndarray,
+    scales: np.ndarray,
+    chunk_lo: int = 0,
+    chunk_hi: Optional[int] = None,
+) -> None:
+    """The edge pass of a :class:`~repro.core.plan.ChunkedPlan`.
+
+    Streams the plan's source block by block; every temporary (the chunk
+    triple, the lazily-compiled ``src*K``/``dst*K`` components, the gathered
+    labels and contributions) is O(chunk_edges), so the pass's working set
+    beyond ``Z_flat`` is bounded by the source's memory budget no matter how
+    large E is.  Shared by the serial chunked kernel and the parallel
+    chunked workers (each streaming its own ``chunk_lo:chunk_hi`` slab), so
+    all of them accumulate identical per-block contributions.
+    """
+    if y.size == 0 or y.min() != UNKNOWN_LABEL:
+        # Fully labelled (the refinement loop's regime): use each block's
+        # precompiled flat-index components with no masking.
+        for src, dst, w, src_flat, dst_flat in plan.iter_compiled(chunk_lo, chunk_hi):
+            scatter_add(Z_flat, src_flat + y[dst], scales[dst] * w)
+            scatter_add(Z_flat, dst_flat + y[src], scales[src] * w)
+        return
+    # Partially labelled: the shared masked kernel indexes only the known
+    # subset of each block, so it does strictly less work than compiling
+    # flat indices for edges the masks then drop.
+    k = plan.n_classes
+    for src, dst, w in plan.source.iter_chunks(chunk_lo, chunk_hi):
+        accumulate_edges_vectorized(Z_flat, src, dst, w, y, scales, k)
+
+
+def gee_vectorized_chunked(plan, labels: np.ndarray) -> EmbeddingResult:
+    """Out-of-core vectorised GEE on a :class:`~repro.core.plan.ChunkedPlan`.
+
+    Identical sums to :func:`gee_vectorized` (scatter-add is associative;
+    only floating-point summation order differs), with peak temporary
+    allocation bounded by the source's chunk size instead of O(E).  The
+    returned embedding views the plan's reused output buffer.
+    """
+    y = plan.validate_labels(labels)
+    k = plan.n_classes
+
+    t0 = time.perf_counter()
+    scales = projection_scales(y, k)
+    t1 = time.perf_counter()
+
+    Z_flat = plan.zeroed_output()
+    accumulate_chunked_plan(Z_flat, plan, y, scales)
+    t2 = time.perf_counter()
+
+    return EmbeddingResult(
+        embedding=Z_flat.reshape(plan.n_vertices, k),
+        projection_builder=lambda: projection_from_scales(y, scales, k),
+        timings={"projection": t1 - t0, "edge_pass": t2 - t1, "total": t2 - t0},
+        method="gee-vectorized",
+        n_workers=1,
+        buffer_view=True,
+    )
 
 
 def gee_vectorized_with_plan(plan, labels: np.ndarray) -> EmbeddingResult:

@@ -31,13 +31,13 @@ Two sharp edges, both documented on the methods involved:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from .validation import validate_edges, validate_labels
 
-__all__ = ["EmbedPlan", "edge_fingerprint", "csr_fingerprint"]
+__all__ = ["EmbedPlan", "ChunkedPlan", "edge_fingerprint", "csr_fingerprint"]
 
 #: Number of evenly-spaced edge samples hashed into the fingerprint.
 _FINGERPRINT_SAMPLES = 32
@@ -121,6 +121,10 @@ class EmbedPlan:
     Do not construct directly — use :meth:`repro.graph.facade.Graph.plan`,
     which caches one plan per ``K`` and handles invalidation.
     """
+
+    #: Class-level dispatch flag: chunk-aware consumers check it instead of
+    #: isinstance so the two plan kinds stay duck-compatible.
+    is_chunked = False
 
     def __init__(self, graph, n_classes: int, *, fingerprint: Optional[Tuple] = None):
         from ..graph.facade import Graph
@@ -287,4 +291,107 @@ class EmbedPlan:
         return (
             f"EmbedPlan(n={self.n_vertices}, s={self.n_edges}, "
             f"K={self.n_classes})"
+        )
+
+
+class ChunkedPlan:
+    """Per-``(source, K)`` compiled artifact for bounded-memory edge passes.
+
+    The out-of-core counterpart of :class:`EmbedPlan`: where the full plan
+    materialises the ``u*K``/``v*K`` flat scatter indices for all ``E``
+    edges once, the chunked plan compiles them *per block* as
+    :meth:`iter_compiled` streams the source — the only full-length
+    allocation a chunk consumer ever makes is the ``(n*K,)`` output buffer
+    the per-block scatter-adds accumulate into (scatter-add is associative,
+    so the block-wise sums equal the one-shot pass exactly, up to
+    floating-point summation order).
+
+    ``source`` is a :class:`~repro.graph.io.ChunkedEdgeSource` (memory-mapped
+    on-disk store or a re-blocked in-memory edge list).  ``graph`` is the
+    owning :class:`~repro.graph.facade.Graph` when the plan was compiled via
+    ``graph.plan(K, chunk_edges=...)`` and ``None`` for standalone
+    file-backed sources — chunk consumers must not touch ``graph`` (a
+    file-backed source has no in-memory views to offer).
+
+    Like :class:`EmbedPlan`, the output buffer is reused across calls on the
+    same plan (see :meth:`zeroed_output`).
+    """
+
+    is_chunked = True
+
+    def __init__(
+        self,
+        source,
+        n_classes: int,
+        *,
+        graph=None,
+        fingerprint: Optional[Tuple] = None,
+    ):
+        from ..graph.io import ChunkedEdgeSource
+
+        if not isinstance(source, ChunkedEdgeSource):  # pragma: no cover - defensive
+            raise TypeError(
+                f"ChunkedPlan compiles a ChunkedEdgeSource, got {type(source)!r}"
+            )
+        k = int(n_classes)
+        if k <= 0:
+            raise ValueError("n_classes must be positive")
+        self.source = source
+        self.graph = graph
+        self.n_classes = k
+        self.n_vertices = int(source.n_vertices)
+        self.n_edges = int(source.n_edges)
+        self.chunk_edges = int(source.chunk_edges)
+        self.fingerprint = fingerprint
+        self._Z_flat: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # Per-call helpers (same contract as EmbedPlan)
+    # ------------------------------------------------------------------ #
+    def validate_labels(self, labels: np.ndarray) -> np.ndarray:
+        """Validate a label vector against the compiled ``(n, K)`` (O(n))."""
+        y, _ = validate_labels(labels, self.n_vertices, self.n_classes)
+        return y
+
+    def zeroed_output(self) -> np.ndarray:
+        """The reusable flat ``(n*K,)`` output buffer, zeroed.
+
+        Same sharp edge as :meth:`EmbedPlan.zeroed_output`: the buffer backs
+        every call on this plan, so returned embeddings are valid until the
+        next plan-based call (``EmbeddingResult.detached`` copies one out).
+        """
+        if self._Z_flat is None:
+            self._Z_flat = np.zeros(self.n_vertices * self.n_classes, dtype=np.float64)
+        else:
+            self._Z_flat.fill(0.0)
+        return self._Z_flat
+
+    def output_matrix(self) -> np.ndarray:
+        """``(n, K)`` view of the reusable output buffer (not zeroed)."""
+        if self._Z_flat is None:
+            self._Z_flat = np.zeros(self.n_vertices * self.n_classes, dtype=np.float64)
+        return self._Z_flat.reshape(self.n_vertices, self.n_classes)
+
+    # ------------------------------------------------------------------ #
+    # Streaming compilation
+    # ------------------------------------------------------------------ #
+    def iter_compiled(
+        self, chunk_lo: int = 0, chunk_hi: Optional[int] = None
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+        """Stream ``(src, dst, w, src*K, dst*K)`` blocks, compiled lazily.
+
+        Each block's flat-index components are O(chunk) temporaries built
+        here and dropped when the consumer moves on — never the O(E) arrays
+        the full plan would pin.  ``chunk_lo``/``chunk_hi`` restrict the
+        stream to a contiguous chunk-index range (how the parallel backend
+        hands each worker its slab).
+        """
+        k = self.n_classes
+        for src, dst, w in self.source.iter_chunks(chunk_lo, chunk_hi):
+            yield src, dst, w, src * k, dst * k
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ChunkedPlan(n={self.n_vertices}, s={self.n_edges}, "
+            f"K={self.n_classes}, chunk_edges={self.chunk_edges})"
         )

@@ -210,6 +210,7 @@ def gee_unsupervised(
     delta: Union[bool, str] = "auto",
     full_refresh_every: int = 10,
     delta_threshold: float = 0.5,
+    chunk_edges: Optional[int] = None,
     **impl_kwargs,
 ) -> RefinementResult:
     """Iteratively refine labels and embedding without supervision.
@@ -261,6 +262,15 @@ def gee_unsupervised(
         the full pass.  The early chaotic rounds of a random start
         therefore run full; the delta path takes over once the assignment
         settles.
+    chunk_edges:
+        Run the *full* embedding passes (the first iteration, periodic
+        refreshes and threshold fallbacks) through the out-of-core chunked
+        plan with this block size, bounding their temporary working set;
+        the delta passes already touch only the edges of changed vertices.
+        Requires a registry-backend ``implementation`` whose capabilities
+        declare ``supports_chunked``.  Note the delta path still builds the
+        graph's in-memory CSR — combine ``chunk_edges`` with
+        ``delta=False`` when that view must not be materialised.
     """
     graph = Graph.coerce(edges)
     if graph.n_vertices == 0:
@@ -295,10 +305,29 @@ def gee_unsupervised(
     # The plan carries the CSR/CSC views the delta scatter walks, and lets
     # registry backends run their zero-validation full passes.
     plan = graph.plan(k) if (delta or plan_pass is not None) else None
+    if chunk_edges is not None:
+        if plan_pass is None:
+            # The default implementation is the bare gee_vectorized callable
+            # (the historical contract); its registry backend runs the same
+            # kernel through the chunked plan, so map it rather than reject.
+            if implementation is gee_vectorized and not impl_kwargs:
+                full_pass, plan_pass, standard = _resolve_implementation(
+                    "vectorized", {}
+                )
+            else:
+                raise ValueError(
+                    "chunk_edges requires a registry-backend implementation "
+                    "(a name or GEEBackend instance), not a bare callable"
+                )
+        # Full passes stream in bounded blocks; the delta path keeps the
+        # regular plan (it walks the CSR/CSC views, not the edge stream).
+        full_plan = graph.plan(k, chunk_edges=chunk_edges)
+    else:
+        full_plan = plan
 
     def run_full(y: np.ndarray) -> EmbeddingResult:
-        if plan_pass is not None and plan is not None:
-            return plan_pass(plan, y)
+        if plan_pass is not None and full_plan is not None:
+            return plan_pass(full_plan, y)
         return full_pass(graph, y, k)
 
     history: List[float] = []

@@ -31,7 +31,14 @@ from .generators import (
     star_graph,
     stochastic_block_model,
 )
-from .io import load_npz, read_snap_edgelist, save_npz, write_snap_edgelist
+from .io import (
+    ChunkedEdgeSource,
+    load_npz,
+    read_snap_edgelist,
+    save_chunked,
+    save_npz,
+    write_snap_edgelist,
+)
 from .properties import (
     GraphSummary,
     connected_components,
@@ -69,6 +76,8 @@ __all__ = [
     "write_snap_edgelist",
     "save_npz",
     "load_npz",
+    "save_chunked",
+    "ChunkedEdgeSource",
     "degree_statistics",
     "connected_components",
     "n_connected_components",

@@ -67,8 +67,9 @@ class Graph:
         self._out_degrees: Optional[np.ndarray] = None
         self._in_degrees: Optional[np.ndarray] = None
         self._weighted_degrees: Optional[np.ndarray] = None
-        #: K -> compiled EmbedPlan (see :meth:`plan`), oldest-first.
-        self._plans: Dict[int, object] = {}
+        #: K -> compiled EmbedPlan, or ("chunked", K, chunk_edges) ->
+        #: compiled ChunkedPlan (see :meth:`plan`), oldest-first.
+        self._plans: Dict[object, object] = {}
         #: Fingerprint of the edge data at the time the CSR view was built
         #: (see :meth:`plan` — detects mutations that happen between view
         #: construction and the first plan compilation).
@@ -103,6 +104,15 @@ class Graph:
             src, dst = obj[0], obj[1]
             weights = obj[2] if len(obj) == 3 else None
             return cls(EdgeList(src, dst, weights, n_vertices))
+        from .io import ChunkedEdgeSource
+
+        if isinstance(obj, ChunkedEdgeSource):
+            raise TypeError(
+                "a ChunkedEdgeSource cannot be coerced to an in-memory Graph "
+                "(it may be larger than RAM); pass it directly to a chunk-aware "
+                "backend's embed(), GraphEncoderEmbedding.fit(), or materialise "
+                "it explicitly with source.to_edgelist()"
+            )
         raise TypeError(
             "expected a graph-like input (Graph, EdgeList, CSRGraph, an (s, 2|3) "
             f"ndarray, a (src, dst[, weights]) tuple or a scipy.sparse matrix), "
@@ -236,7 +246,13 @@ class Graph:
     # ------------------------------------------------------------------ #
     # Compiled embed plans
     # ------------------------------------------------------------------ #
-    def plan(self, n_classes: int):
+    def plan(
+        self,
+        n_classes: int,
+        *,
+        chunk_edges: Optional[int] = None,
+        memory_budget_bytes: Optional[int] = None,
+    ):
         """The compiled :class:`~repro.core.plan.EmbedPlan` for ``K`` classes.
 
         The plan — validated edge arrays, ``u*K`` / ``v*K`` flat scatter
@@ -249,6 +265,14 @@ class Graph:
         arrays changed since compilation (detected via a sampled
         fingerprint — best-effort for in-place mutation, exact for array
         replacement), every cached view is dropped and the plan recompiled.
+
+        With ``chunk_edges`` (a block length) or ``memory_budget_bytes`` (a
+        cap on per-block temporaries) the compiled artifact is instead a
+        :class:`~repro.core.plan.ChunkedPlan`: the edge pass then streams
+        the edges in bounded blocks and compiles each block's scatter
+        indices lazily, never materialising the O(E) flat-index arrays.
+        Only backends whose capabilities declare ``supports_chunked``
+        accept a chunked plan.
         """
         from ..core.plan import EmbedPlan, csr_fingerprint, edge_fingerprint
 
@@ -275,15 +299,32 @@ class Graph:
             baseline = self._view_fingerprint
         if baseline is not None and baseline != fingerprint:
             self.invalidate_cache()
-        cached = self._plans.get(k)
+        if chunk_edges is not None or memory_budget_bytes is not None:
+            from .io import ChunkedEdgeSource
+
+            source = ChunkedEdgeSource.from_edgelist(
+                self.edges,
+                chunk_edges=chunk_edges,
+                memory_budget_bytes=memory_budget_bytes,
+            )
+            key = ("chunked", k, source.chunk_edges)
+        else:
+            source = None
+            key = k
+        cached = self._plans.get(key)
         if cached is not None:
             return cached
         if len(self._plans) >= self._MAX_PLANS:
             # Drop the oldest plan (insertion order) — K sweeps beyond the
             # cap would otherwise pin one flat-index pair + buffer per K.
             self._plans.pop(next(iter(self._plans)))
-        plan = EmbedPlan(self, k, fingerprint=fingerprint)
-        self._plans[k] = plan
+        if source is not None:
+            from ..core.plan import ChunkedPlan
+
+            plan = ChunkedPlan(source, k, graph=self, fingerprint=fingerprint)
+        else:
+            plan = EmbedPlan(self, k, fingerprint=fingerprint)
+        self._plans[key] = plan
         return plan
 
     def invalidate_cache(self) -> None:

@@ -1,0 +1,214 @@
+"""Cross-backend conformance matrix.
+
+One systematic grid replaces the historical ad-hoc per-backend checks:
+**every registry backend** × **every accepted input kind** (``EdgeList``,
+``CSRGraph``, ``(s, 3)`` ndarray, ``scipy.sparse``, chunked source) ×
+**every structural edge case** (weighted, unweighted, self-loops, isolated
+vertices, duplicate edges) must produce the embedding of the pure-Python
+reference loop to 1e-10 — the different execution strategies and input
+codecs may only differ in floating-point summation order.
+
+The matrix also enforces that declared :class:`BackendCapabilities` are
+honoured: unsupported construction kwargs raise at ``get_backend`` time,
+and backends without ``supports_chunked`` reject chunked inputs instead of
+silently materialising them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.backends import (
+    backend_aliases,
+    backend_capabilities,
+    get_backend,
+    list_backends,
+)
+from repro.graph.csr import CSRGraph
+from repro.graph.edgelist import EdgeList
+from repro.graph.io import ChunkedEdgeSource
+
+ATOL = 1e-10
+K = 3
+
+#: Structural edge cases.  Each builds (EdgeList, labels); ~30 vertices so
+#: the interpreted reference stays instant across the whole matrix.
+GRAPH_KINDS = {}
+
+
+def _register(name):
+    def deco(fn):
+        GRAPH_KINDS[name] = fn
+        return fn
+
+    return deco
+
+
+def _labels(n, rng):
+    y = rng.integers(0, K, size=n).astype(np.int64)
+    y[rng.random(n) < 0.3] = -1  # partial labelling exercises the masks
+    if np.all(y == -1):
+        y[0] = 0
+    return y
+
+
+@_register("unweighted")
+def _unweighted():
+    rng = np.random.default_rng(11)
+    src = rng.integers(0, 30, size=70)
+    dst = rng.integers(0, 30, size=70)
+    keep = src != dst
+    return EdgeList(src[keep], dst[keep], None, 30), _labels(30, rng)
+
+
+@_register("weighted")
+def _weighted():
+    rng = np.random.default_rng(12)
+    src = rng.integers(0, 30, size=70)
+    dst = rng.integers(0, 30, size=70)
+    keep = src != dst
+    w = rng.uniform(0.1, 4.0, size=int(keep.sum()))
+    return EdgeList(src[keep], dst[keep], w, 30), _labels(30, rng)
+
+
+@_register("self-loops")
+def _self_loops():
+    rng = np.random.default_rng(13)
+    src = rng.integers(0, 25, size=60)
+    dst = rng.integers(0, 25, size=60)
+    src[:10] = dst[:10]  # guaranteed loops
+    w = rng.uniform(0.5, 2.0, size=60)
+    return EdgeList(src, dst, w, 25), _labels(25, rng)
+
+
+@_register("isolated-vertices")
+def _isolated():
+    rng = np.random.default_rng(14)
+    # Vertices 10..19 appear in no edge at all.  Keeping the isolated block
+    # *interior* (vertex 39 is an endpoint) makes the graph representable by
+    # every input kind — a bare (s, 3) array cannot carry trailing isolated
+    # vertices, since n is inferred as max endpoint + 1.
+    src = rng.integers(0, 30, size=50)
+    dst = rng.integers(0, 30, size=50)
+    src[src >= 10] += 10
+    dst[dst >= 10] += 10
+    src[0], dst[0] = 39, 0
+    keep = src != dst
+    return EdgeList(src[keep], dst[keep], None, 40), _labels(40, rng)
+
+
+@_register("duplicate-edges")
+def _duplicates():
+    rng = np.random.default_rng(15)
+    src = rng.integers(0, 20, size=30)
+    dst = rng.integers(0, 20, size=30)
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    # Repeat every edge two extra times with distinct weights.
+    src = np.concatenate([src, src, src])
+    dst = np.concatenate([dst, dst, dst])
+    w = rng.uniform(0.1, 2.0, size=src.size)
+    return EdgeList(src, dst, w, 20), _labels(20, rng)
+
+
+INPUT_KINDS = ["edgelist", "csr", "ndarray", "scipy-sparse", "chunked"]
+
+
+def _as_input(edges: EdgeList, kind: str):
+    """Re-encode an edge list as one of the accepted input kinds.
+
+    CSR re-sorts edges per source vertex and scipy COO→CSR merges
+    duplicates — both preserve the per-cell sums GEE accumulates, so every
+    encoding must embed identically up to summation order.
+    """
+    if kind == "edgelist":
+        return edges
+    if kind == "csr":
+        return CSRGraph.from_edgelist(edges)
+    if kind == "ndarray":
+        return edges.as_array()  # (s, 3) with materialised unit weights
+    if kind == "scipy-sparse":
+        return sp.coo_matrix(
+            (edges.effective_weights(), (edges.src, edges.dst)),
+            shape=(edges.n_vertices, edges.n_vertices),
+        )
+    if kind == "chunked":
+        return ChunkedEdgeSource.from_edgelist(edges, chunk_edges=7)
+    raise AssertionError(kind)
+
+
+@pytest.fixture(scope="module")
+def references():
+    """Reference embedding per graph kind, from the interpreted loop."""
+    out = {}
+    for kind, build in GRAPH_KINDS.items():
+        edges, labels = build()
+        out[kind] = (edges, labels, get_backend("python").embed(edges, labels, K))
+    return out
+
+
+@pytest.mark.parametrize("graph_kind", sorted(GRAPH_KINDS))
+@pytest.mark.parametrize("input_kind", INPUT_KINDS)
+@pytest.mark.parametrize("backend_name", sorted(list_backends()))
+def test_conformance_matrix(references, backend_name, input_kind, graph_kind):
+    edges, labels, reference = references[graph_kind]
+    backend = get_backend(backend_name)
+    graph_input = _as_input(edges, input_kind)
+
+    if input_kind == "chunked" and not backend_capabilities(backend_name).supports_chunked:
+        with pytest.raises(ValueError, match="chunked"):
+            backend.embed(graph_input, labels, K)
+        return
+
+    result = backend.embed(graph_input, labels, K).detached()
+    assert result.embedding.shape == (edges.n_vertices, K)
+    np.testing.assert_allclose(
+        result.embedding,
+        reference.embedding,
+        atol=ATOL,
+        err_msg=f"{backend_name} on {input_kind}/{graph_kind} diverges from the "
+        "python reference",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Declared capabilities are honoured
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("backend_name", sorted(list_backends()))
+def test_n_workers_capability_honoured(backend_name):
+    caps = backend_capabilities(backend_name)
+    if caps.supports_n_workers:
+        assert get_backend(backend_name, n_workers=2).n_workers == 2
+    else:
+        with pytest.raises(ValueError, match="n_workers"):
+            get_backend(backend_name, n_workers=2)
+
+
+@pytest.mark.parametrize("backend_name", sorted(list_backends()))
+def test_unknown_options_rejected(backend_name):
+    with pytest.raises(TypeError, match="unsupported option"):
+        get_backend(backend_name, definitely_not_an_option=True)
+
+
+@pytest.mark.parametrize("backend_name", sorted(list_backends()))
+def test_parallel_capability_consistent(backend_name):
+    caps = backend_capabilities(backend_name)
+    # A backend that cannot take workers cannot claim to run concurrently.
+    if caps.parallel:
+        assert caps.supports_n_workers
+
+
+def test_aliases_resolve_to_registered_backends():
+    names = set(list_backends())
+    for alias, canonical in backend_aliases().items():
+        assert canonical in names
+        assert alias not in names
+
+
+def test_chunk_capable_backends_cover_the_engine():
+    # The out-of-core engine's contract: at least the vectorized, sparse
+    # and parallel execution strategies run it.
+    capable = {n for n in list_backends() if backend_capabilities(n).supports_chunked}
+    assert {"vectorized", "sparse", "parallel"} <= capable

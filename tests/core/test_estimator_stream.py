@@ -131,10 +131,18 @@ class TestPartialFit:
         )
         np.testing.assert_allclose(model.embedding_, full.embedding_, atol=ATOL)
 
-    def test_first_call_requires_labels(self, planted_case):
+    def test_first_call_requires_labels_or_n_classes(self, planted_case):
         edges, _, _ = planted_case
         with pytest.raises(ValueError, match="labels"):
-            GraphEncoderEmbedding(3).partial_fit(edges)
+            GraphEncoderEmbedding().partial_fit(edges)
+
+    def test_first_call_with_n_classes_streams_unlabelled(self, planted_case):
+        # An explicit n_classes makes an unlabelled start well-defined:
+        # every vertex arrives unknown, so no edge contributes yet.
+        edges, _, y = planted_case
+        model = GraphEncoderEmbedding(3).partial_fit(edges)
+        assert model.embedding_.shape == (edges.n_vertices, 3)
+        np.testing.assert_array_equal(model.embedding_, 0.0)
 
     def test_label_rewrites_rejected(self, planted_case):
         edges, _, y = planted_case
@@ -185,3 +193,88 @@ class TestFitTransform:
         a = GraphEncoderEmbedding(method="vectorized").fit_transform(edges, y)
         b = GraphEncoderEmbedding(method="vectorized").fit(edges, y).embedding_
         np.testing.assert_allclose(a, b, atol=1e-12)
+
+
+def _empty_edges(n_vertices=0):
+    return EdgeList(
+        np.array([], dtype=np.int64), np.array([], dtype=np.int64), None, n_vertices
+    )
+
+
+class TestDegenerateInputs:
+    """Zero-edge graphs and empty batches through every estimator entry point."""
+
+    @pytest.mark.parametrize(
+        "method",
+        ["python", "vectorized", "sparse", "parallel", "ligra-vectorized"],
+    )
+    def test_fit_on_zero_edge_graph(self, method):
+        y = np.array([0, 1, 0, 1, -1])
+        model = GraphEncoderEmbedding(method=method).fit(_empty_edges(5), y)
+        assert model.embedding_.shape == (5, 2)
+        np.testing.assert_array_equal(model.embedding_, 0.0)
+        # Fitted state is fully usable: projections, centroids, prediction.
+        assert model.projection_.shape == (5, 2)
+        assert model.predict().shape == (5,)
+
+    def test_fit_zero_edge_chunked(self):
+        y = np.array([0, 1, 0, 1, -1])
+        model = GraphEncoderEmbedding(method="vectorized").fit(
+            _empty_edges(5), y, chunk_edges=3
+        )
+        np.testing.assert_array_equal(model.embedding_, 0.0)
+
+    def test_fit_zero_vertex_graph_rejected(self):
+        with pytest.raises(ValueError, match="at least one vertex"):
+            GraphEncoderEmbedding().fit(_empty_edges(0), np.array([]))
+
+    def test_transform_empty_batch(self, planted_case):
+        edges, _, y = planted_case
+        model = GraphEncoderEmbedding(method="vectorized").fit(edges, y)
+        out = model.transform(_empty_edges())
+        assert out.shape == (0, 3)
+        out = model.transform(np.empty((0, 2)))
+        assert out.shape == (0, 3)
+        # Selecting fitted vertices against an empty batch returns their
+        # (zero-contribution) rows rather than failing.
+        out = model.transform(_empty_edges(), vertices=np.array([1, 2]))
+        assert out.shape == (2, 3)
+        np.testing.assert_array_equal(out, 0.0)
+
+    def test_transform_empty_batch_normalized(self, planted_case):
+        edges, _, y = planted_case
+        model = GraphEncoderEmbedding(method="vectorized", normalize=True).fit(edges, y)
+        assert model.transform(_empty_edges()).shape == (0, 3)
+
+    def test_partial_fit_empty_batch_is_identity(self, planted_case):
+        edges, _, y = planted_case
+        model = GraphEncoderEmbedding().partial_fit(edges, labels=y)
+        before = model.embedding_.copy()
+        model.partial_fit(_empty_edges())
+        np.testing.assert_array_equal(model.embedding_, before)
+        model.partial_fit(np.empty((0, 3)))
+        np.testing.assert_array_equal(model.embedding_, before)
+
+    def test_partial_fit_empty_first_batch_with_labels(self, planted_case):
+        edges, _, y = planted_case
+        model = GraphEncoderEmbedding().partial_fit(_empty_edges(), labels=y)
+        assert model.embedding_.shape == (y.shape[0], 3)
+        np.testing.assert_array_equal(model.embedding_, 0.0)
+        # Streaming the real edges afterwards matches a full-batch fit.
+        model.partial_fit(edges)
+        full = GraphEncoderEmbedding(method="vectorized").fit(edges, y)
+        np.testing.assert_allclose(model.embedding_, full.embedding_, atol=ATOL)
+
+    def test_partial_fit_empty_first_batch_with_n_classes_only(self):
+        # The regression this guards: an empty unlabelled start with an
+        # explicit n_classes used to raise instead of initialising.
+        model = GraphEncoderEmbedding(3).partial_fit(_empty_edges())
+        assert model.is_fitted_
+        assert model.embedding_.shape == (0, 3)
+
+    def test_partial_fit_empty_batch_after_fit_continues(self, planted_case):
+        edges, _, y = planted_case
+        model = GraphEncoderEmbedding(method="vectorized").fit(edges, y)
+        before = model.embedding_.copy()
+        model.partial_fit(_empty_edges())
+        np.testing.assert_allclose(model.embedding_, before, atol=1e-12)

@@ -1,0 +1,182 @@
+"""Property-style fuzz tests (seeded, deterministic — no hypothesis dep).
+
+Two invariants that parametrised example tests cover thinly:
+
+* ``scatter_add``'s dense (whole-output ``bincount``) and sparse
+  (``np.unique`` + compacted ``bincount``) strategies must agree with the
+  ``np.add.at`` oracle — and with each other — on *any* index/weight
+  profile, since the fill-ratio threshold that picks between them is a
+  perf tunable, never a semantics switch;
+* a cached :class:`~repro.core.plan.EmbedPlan` must be evicted when the
+  underlying edge data is mutated in place (the sampled fingerprint covers
+  every edge on graphs with ≤ 32 edges, so detection there is exact, not
+  best-effort).
+
+~200 random instances each, driven by one seeded ``np.random.Generator``
+per test so failures reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import importlib
+
+# Bind the *module* (the package __init__ re-exports a function of the same
+# name, which shadows the submodule as a package attribute).
+gv = importlib.import_module("repro.core.gee_vectorized")
+from repro.core.plan import _FINGERPRINT_SAMPLES
+from repro.graph.edgelist import EdgeList
+from repro.graph.facade import Graph
+
+N_CASES = 200
+
+
+def _force_scatter(monkeypatch, out, idx, w, threshold):
+    """Run scatter_add with the strategy threshold pinned."""
+    monkeypatch.setattr(gv, "_SPARSE_THRESHOLD", threshold)
+    gv.scatter_add(out, idx, w)
+    return out
+
+
+def test_scatter_add_paths_agree(monkeypatch):
+    rng = np.random.default_rng(20260728)
+    for case in range(N_CASES):
+        size = int(rng.integers(1, 400))
+        m = int(rng.integers(0, 600))
+        idx = rng.integers(0, size, size=m).astype(np.int64)
+        if m and rng.random() < 0.3:
+            # Heavy duplication: all updates into very few slots.
+            idx = idx % max(1, size // 10)
+        w = rng.normal(size=m)
+        base = rng.normal(size=size)
+
+        oracle = base.copy()
+        np.add.at(oracle, idx, w)
+        # threshold 0 -> m >= 0 is always true -> dense; huge -> sparse.
+        dense = _force_scatter(monkeypatch, base.copy(), idx, w, 0.0)
+        sparse = _force_scatter(monkeypatch, base.copy(), idx, w, float("inf"))
+
+        np.testing.assert_allclose(dense, oracle, atol=1e-10, err_msg=f"case {case}")
+        np.testing.assert_allclose(sparse, oracle, atol=1e-10, err_msg=f"case {case}")
+        np.testing.assert_allclose(dense, sparse, atol=1e-10, err_msg=f"case {case}")
+
+
+def test_scatter_add_strategies_match_in_kernels(monkeypatch):
+    """Whole-kernel check: the embedding is threshold-independent."""
+    rng = np.random.default_rng(7)
+    for case in range(40):
+        n = int(rng.integers(2, 40))
+        s = int(rng.integers(1, 80))
+        edges = EdgeList(
+            rng.integers(0, n, size=s),
+            rng.integers(0, n, size=s),
+            rng.uniform(0.1, 2.0, size=s),
+            n,
+        )
+        k = int(rng.integers(1, 5))
+        y = rng.integers(-1, k, size=n).astype(np.int64)
+        if np.all(y == -1):
+            y[0] = 0
+        monkeypatch.setattr(gv, "_SPARSE_THRESHOLD", 0.0)
+        dense = gv.gee_vectorized(edges, y, k).embedding.copy()
+        monkeypatch.setattr(gv, "_SPARSE_THRESHOLD", float("inf"))
+        sparse = gv.gee_vectorized(edges, y, k).embedding
+        np.testing.assert_allclose(dense, sparse, atol=1e-10, err_msg=f"case {case}")
+
+
+def _random_small_graph(rng):
+    """A weighted graph with at most _FINGERPRINT_SAMPLES edges.
+
+    Below the sample cap the plan fingerprint hashes *every* edge, so any
+    single-edge mutation must be detected — the property under test.
+    """
+    n = int(rng.integers(3, 20))
+    s = int(rng.integers(1, _FINGERPRINT_SAMPLES + 1))
+    return EdgeList(
+        rng.integers(0, n, size=s),
+        rng.integers(0, n, size=s),
+        rng.uniform(0.5, 2.0, size=s),
+        n,
+    )
+
+
+def test_plan_evicted_on_edge_mutation():
+    rng = np.random.default_rng(99)
+    for case in range(N_CASES):
+        edges = _random_small_graph(rng)
+        graph = Graph.coerce(edges)
+        k = int(rng.integers(1, 4))
+        plan = graph.plan(k)
+        # Touch the compiled artifacts so eviction visibly discards work.
+        plan.src_flat
+
+        pos = int(rng.integers(0, edges.n_edges))
+        field = ("src", "dst", "weights")[int(rng.integers(0, 3))]
+        if field == "src":
+            edges.src[pos] = (edges.src[pos] + 1) % edges.n_vertices
+        elif field == "dst":
+            edges.dst[pos] = (edges.dst[pos] + 1) % edges.n_vertices
+        else:
+            edges.weights[pos] += 1.0
+
+        new_plan = graph.plan(k)
+        assert new_plan is not plan, (
+            f"case {case}: cached plan survived in-place mutation of "
+            f"{field}[{pos}] on a fully-sampled graph"
+        )
+        assert new_plan.fingerprint != plan.fingerprint
+
+
+def test_mutated_plan_recompiles_to_correct_embedding():
+    """Eviction is not just identity churn: the re-plan embeds the new graph."""
+    rng = np.random.default_rng(5)
+    for case in range(40):
+        edges = _random_small_graph(rng)
+        graph = Graph.coerce(edges)
+        k = 2
+        y = rng.integers(0, k, size=edges.n_vertices).astype(np.int64)
+        from repro.backends import get_backend
+
+        backend = get_backend("vectorized")
+        backend.embed_with_plan(graph.plan(k), y)
+
+        pos = int(rng.integers(0, edges.n_edges))
+        edges.weights[pos] += 3.0
+        fresh = backend.embed_with_plan(graph.plan(k), y).detached().embedding
+        expected = backend.embed(Graph.coerce(edges.copy()), y, k).embedding
+        np.testing.assert_allclose(fresh, expected, atol=1e-12, err_msg=f"case {case}")
+
+
+def test_chunked_plan_cache_also_evicted_on_mutation():
+    rng = np.random.default_rng(1234)
+    for case in range(50):
+        edges = _random_small_graph(rng)
+        graph = Graph.coerce(edges)
+        plan = graph.plan(2, chunk_edges=3)
+        pos = int(rng.integers(0, edges.n_edges))
+        edges.weights[pos] *= -1.0
+        assert graph.plan(2, chunk_edges=3) is not plan, f"case {case}"
+
+
+def test_fingerprint_detects_replacement_beyond_sample_cap():
+    # Above the cap detection of *replacement* stays exact (shape + samples
+    # change); in-place mutation there is documented as best-effort.
+    rng = np.random.default_rng(55)
+    edges = EdgeList(
+        rng.integers(0, 50, size=500),
+        rng.integers(0, 50, size=500),
+        rng.uniform(0.1, 1.0, size=500),
+        50,
+    )
+    graph = Graph.coerce(edges)
+    plan = graph.plan(3)
+    bigger = EdgeList(
+        np.concatenate([edges.src, [0]]),
+        np.concatenate([edges.dst, [1]]),
+        np.concatenate([edges.weights, [1.0]]),
+        50,
+    )
+    graph2 = Graph.coerce(bigger)
+    assert graph2.plan(3).fingerprint != plan.fingerprint
