@@ -9,6 +9,17 @@ Usage (what the CI smoke job runs)::
         --current /tmp/bench/BENCH_table1_runtimes.json \
         --backend vectorized --factor 1.5
 
+A second gate mode compares two labels *within* one result file — how the
+streaming benchmark asserts its incremental-vs-refit speedup floor::
+
+    python benchmarks/check_regression.py \
+        --current /tmp/bench/BENCH_stream.json \
+        --speedup incremental-update:refit --min-speedup 5
+
+``--speedup FAST:SLOW`` divides SLOW's best wall-clock by FAST's and fails
+below ``--min-speedup`` (labels match the entries' ``label`` field; both
+gates may run in one invocation when ``--baseline`` is also given).
+
 The comparison is on *normalised* time (``per_edge_ns`` — best wall-clock
 divided by the directed edge count).  Per-edge cost is NOT scale-free in
 practice (the committed full-scale baseline shows ~28 ns/edge on the
@@ -41,9 +52,44 @@ def _best_entry(payload: dict, backend: str):
     return max(rows, key=lambda e: e["E"] or 0)
 
 
+def _label_entry(payload: dict, label: str):
+    """The entry for ``label`` with the largest edge count (most stable)."""
+    rows = [
+        e
+        for e in payload.get("entries", [])
+        if e.get("label") == label and e.get("best_s")
+    ]
+    if not rows:
+        return None
+    return max(rows, key=lambda e: e.get("E") or 0)
+
+
+def _check_speedup(current: dict, spec: str, min_speedup: float) -> int:
+    fast_label, _, slow_label = spec.partition(":")
+    if not fast_label or not slow_label:
+        print(f"check_regression: --speedup wants FAST:SLOW, got {spec!r}")
+        return 2
+    fast = _label_entry(current, fast_label)
+    slow = _label_entry(current, slow_label)
+    if fast is None or slow is None:
+        missing = fast_label if fast is None else slow_label
+        print(f"check_regression: no '{missing}' entries in current file; nothing to gate")
+        return 0
+    speedup = slow["best_s"] / fast["best_s"]
+    print(
+        f"speedup {fast_label} vs {slow_label}: {fast['best_s'] * 1e3:.3f} ms vs "
+        f"{slow['best_s'] * 1e3:.3f} ms -> {speedup:.1f}x (floor {min_speedup}x)"
+    )
+    if speedup < min_speedup:
+        print("FAIL: speedup fell below the required floor")
+        return 1
+    print("OK")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", type=Path, required=True,
+    parser.add_argument("--baseline", type=Path,
                         help="committed BENCH_*.json to compare against")
     parser.add_argument("--current", type=Path, required=True,
                         help="freshly-measured BENCH_*.json")
@@ -51,10 +97,24 @@ def main(argv=None) -> int:
                         help="backend whose normalised time is gated")
     parser.add_argument("--factor", type=float, default=1.5,
                         help="fail when current/baseline per-edge time exceeds this")
+    parser.add_argument("--speedup", metavar="FAST:SLOW",
+                        help="additionally require entry FAST to beat entry "
+                             "SLOW within the current file")
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help="minimum SLOW/FAST best-time ratio for --speedup")
     args = parser.parse_args(argv)
 
-    baseline = json.loads(args.baseline.read_text())
     current = json.loads(args.current.read_text())
+    if args.baseline is None:
+        if args.speedup is None:
+            parser.error("provide --baseline and/or --speedup")
+        return _check_speedup(current, args.speedup, args.min_speedup)
+    if args.speedup is not None:
+        status = _check_speedup(current, args.speedup, args.min_speedup)
+        if status:
+            return status
+
+    baseline = json.loads(args.baseline.read_text())
 
     base_entry = _best_entry(baseline, args.backend)
     cur_entry = _best_entry(current, args.backend)

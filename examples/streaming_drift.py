@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Dynamic graphs: keep an embedding live while the graph mutates.
+
+The scenario: a community-structured graph under continuous churn — edges
+arrive and depart every step, and a slice of vertices slowly migrates
+between communities.  Instead of re-fitting from scratch per version, the
+dynamic-graph subsystem maintains the embedding in O(Δ):
+
+1. generate a drift schedule with ``temporal_drift`` (arrivals, removals
+   and community drift, all replayable),
+2. wrap the initial graph in a ``DynamicGraph`` and attach an
+   ``IncrementalEmbedding``,
+3. per batch: stage the mutations, ``commit()`` (one atomic, versioned
+   delta), ``update()`` (scatter-patch of the raw per-class sums + touched
+   row renormalisation),
+4. verify against a cold re-fit — identical to 1e-10 at every version,
+5. take a copy-on-write ``snapshot()`` mid-stream and show it stays
+   frozen while commits continue, and
+6. track drifting communities with ``gee_unsupervised``, which carries its
+   converged labels across versions (warm starts instead of cold random
+   initialisation).
+
+Run with::
+
+    python examples/streaming_drift.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import DynamicGraph, GraphEncoderEmbedding, IncrementalEmbedding
+from repro.core import gee_unsupervised
+from repro.graph import Graph, temporal_drift
+
+N, E, K = 3000, 40_000, 6
+
+
+def main() -> None:
+    # 1. A replayable churn schedule: ~1% of edges turn over per batch and
+    #    0.5% of vertices drift to another community.
+    scenario = temporal_drift(
+        N, E, K,
+        n_batches=10,
+        arrival_rate=0.005,
+        removal_rate=0.005,
+        drift_fraction=0.005,
+        weighted=True,
+        seed=7,
+    )
+    labels = scenario.labels
+
+    # 2. The live pipeline: versioned graph + incrementally-maintained
+    #    embedding (any backend declaring supports_incremental works).
+    dyn = DynamicGraph(scenario.initial)
+    inc = IncrementalEmbedding(dyn, labels, n_classes=K, backend="vectorized")
+    print(f"v0: {dyn!r}")
+
+    # 5. A reader takes a snapshot now; commits below never disturb it.
+    snap = dyn.snapshot()
+
+    # 3./4. Replay the schedule; after every version, compare against what
+    #        a from-scratch fit on the mutated graph would produce.
+    t_commit = t_update = t_refit = 0.0
+    for batch in scenario.batches:
+        if batch.n_removed:
+            dyn.remove_edges(batch.remove_src, batch.remove_dst)
+        dyn.add_edges(batch.add.src, batch.add.dst, batch.add.weights)
+        t0 = time.perf_counter()
+        dyn.commit()
+        t1 = time.perf_counter()
+        report = inc.update()
+        t2 = time.perf_counter()
+        fresh = GraphEncoderEmbedding(K).fit(Graph(dyn.graph.edges.copy()), labels)
+        t3 = time.perf_counter()
+        t_commit += t1 - t0
+        t_update += t2 - t1
+        t_refit += t3 - t2
+        err = np.abs(inc.embedding - fresh.embedding_).max()
+        assert err <= 1e-10, err
+        print(
+            f"v{dyn.version}: Δ={report.patched_edges} edges patched, "
+            f"staleness {inc.staleness:.2%}, |inc - refit| = {err:.1e}"
+        )
+    # The commit (building the next version's arrays) is paid by any
+    # strategy that wants the mutated graph; the embedding *maintenance* is
+    # where O(Δ) beats O(E), and the gap widens with graph size.
+    print(
+        f"embedding maintenance {t_update * 1e3:.1f} ms vs refit "
+        f"{t_refit * 1e3:.1f} ms ({t_refit / t_update:.0f}x) over "
+        f"{scenario.n_batches} versions (+{t_commit * 1e3:.1f} ms commits)"
+    )
+    assert snap.n_edges == scenario.initial.n_edges  # frozen view
+
+    # 6. Unsupervised tracking of the drifted communities: the second call
+    #    warm-starts from the first call's converged labels.
+    first = gee_unsupervised(dyn, K, seed=0)
+    second = gee_unsupervised(dyn, K, seed=0)  # carried state: ~1 iteration
+    print(
+        f"refinement: cold {first.n_iterations} iterations, "
+        f"warm {second.n_iterations} (state carried across versions)"
+    )
+
+
+if __name__ == "__main__":
+    main()

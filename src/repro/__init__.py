@@ -37,8 +37,9 @@ from .core import (
 )
 from .graph import ChunkedEdgeSource, CSRGraph, EdgeList, Graph, as_graph
 from .ligra import LigraEngine, VertexSubset
+from .stream import DynamicGraph, IncrementalEmbedding, MutationLog, SegmentedEdgeStore
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "GraphEncoderEmbedding",
@@ -54,6 +55,10 @@ __all__ = [
     "Graph",
     "as_graph",
     "ChunkedEdgeSource",
+    "DynamicGraph",
+    "IncrementalEmbedding",
+    "MutationLog",
+    "SegmentedEdgeStore",
     "GEEBackend",
     "get_backend",
     "list_backends",

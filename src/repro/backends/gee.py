@@ -39,13 +39,20 @@ from ..core.gee_parallel import (
     gee_parallel,
     gee_parallel_chunked,
     gee_parallel_with_plan,
+    patch_sums_parallel,
 )
 from ..core.gee_python import gee_python, gee_python_with_plan
-from ..core.gee_sparse import gee_sparse, gee_sparse_chunked, gee_sparse_with_plan
+from ..core.gee_sparse import (
+    gee_sparse,
+    gee_sparse_chunked,
+    gee_sparse_with_plan,
+    patch_sums_sparse,
+)
 from ..core.gee_vectorized import (
     gee_vectorized,
     gee_vectorized_chunked,
     gee_vectorized_with_plan,
+    patch_sums_vectorized,
 )
 from ..graph.facade import Graph
 from .registry import BackendCapabilities, GEEBackend, register_backend
@@ -82,6 +89,7 @@ class PythonLoopBackend(GEEBackend):
     "vectorized",
     capabilities=BackendCapabilities(
         supports_chunked=True,
+        supports_incremental=True,
         description="single-core NumPy scatter-add edge pass (compiled-serial stand-in)",
     ),
 )
@@ -89,6 +97,9 @@ class VectorizedGEEBackend(GEEBackend):
     """Fully vectorised single-core edge pass (the Numba-serial stand-in)."""
 
     _OPTIONS = {"chunk_edges": None}
+
+    def _patch_sums(self, S_flat, src, dst, delta_w, labels, n_classes):
+        patch_sums_vectorized(S_flat, src, dst, delta_w, labels, n_classes)
 
     def _embed(self, graph: Graph, labels: np.ndarray, n_classes: Optional[int]):
         return gee_vectorized(
@@ -112,6 +123,7 @@ class VectorizedGEEBackend(GEEBackend):
     "sparse",
     capabilities=BackendCapabilities(
         supports_chunked=True,
+        supports_incremental=True,
         description="scipy.sparse CSR matmul (A + A^T)W — C-speed serial reference",
     ),
 )
@@ -131,6 +143,9 @@ class SparseMatmulGEEBackend(GEEBackend):
 
     def _embed_with_chunked_plan(self, plan, labels: np.ndarray):
         return gee_sparse_chunked(plan, labels)
+
+    def _patch_sums(self, S_flat, src, dst, delta_w, labels, n_classes):
+        patch_sums_sparse(S_flat, src, dst, delta_w, labels, n_classes)
 
 
 class _LigraGEEBackend(GEEBackend):
@@ -220,6 +235,7 @@ class LigraProcessesGEEBackend(_LigraGEEBackend):
         parallel=True,
         deterministic=True,
         supports_chunked=True,
+        supports_incremental=True,
         description="owner-computes row partition over a persistent fork pool",
     ),
 )
@@ -242,3 +258,8 @@ class ProcessParallelGEEBackend(GEEBackend):
 
     def _embed_with_chunked_plan(self, plan, labels: np.ndarray):
         return gee_parallel_chunked(plan, labels, n_workers=self.n_workers)
+
+    def _patch_sums(self, S_flat, src, dst, delta_w, labels, n_classes):
+        patch_sums_parallel(
+            S_flat, src, dst, delta_w, labels, n_classes, n_workers=self.n_workers
+        )

@@ -355,45 +355,8 @@ class GraphEncoderEmbedding:
     # ------------------------------------------------------------------ #
     # Streaming ingestion
     # ------------------------------------------------------------------ #
-    def partial_fit(
-        self,
-        edges: GraphLike,
-        labels: Optional[np.ndarray] = None,
-    ) -> "GraphEncoderEmbedding":
-        """Ingest one batch of edges, updating the embedding incrementally.
-
-        The estimator accumulates the *raw* per-class weight sums
-        ``S[u, c] = Σ w`` over ingested edges and keeps class counts
-        separate, so the embedding ``Z[:, c] = S[:, c] / count_c`` after any
-        number of batches equals a full-batch :meth:`fit` on the union of
-        the batches (up to floating-point summation order).
-
-        Parameters
-        ----------
-        edges:
-            Graph-like batch of edges.  New vertex ids grow the embedding.
-        labels:
-            Full label vector covering every vertex seen so far (may extend
-            the previous vector for newly arrived vertices; ``-1`` =
-            unknown).  Required on the first call unless the estimator was
-            batch-fitted first, in which case streaming continues from the
-            fitted state.  Labels of already-ingested vertices must not
-            change — their edges were accumulated under the old label.
-
-        Notes
-        -----
-        A vertex must carry its final label before the first batch
-        containing its incident edges: contributions of an edge are
-        accumulated under the labels known at ingestion time.
-        """
-        if self.laplacian:
-            raise ValueError(
-                "partial_fit is not supported with laplacian=True: streamed "
-                "edges change the degrees the reweighting depends on"
-            )
-        t0 = time.perf_counter()
-        batch = as_edgelist(edges)
-
+    def _ensure_stream_state(self) -> None:
+        """Initialise the streaming sums (from a batch fit when present)."""
         if self._stream_sums_ is None:
             if self.is_fitted_ and self.result_ is not None and self.labels_ is not None:
                 # Continue streaming from a batch fit: recover raw sums.
@@ -404,20 +367,15 @@ class GraphEncoderEmbedding:
                 # The fitted graph's edges are gone; conservatively freeze
                 # every fitted vertex's label.
                 self._stream_touched_ = np.ones(self._stream_labels_.shape[0], dtype=bool)
-            elif labels is None and self.n_classes is None:
-                raise ValueError(
-                    "the first partial_fit call must provide labels or the "
-                    "estimator must be constructed with n_classes (or follow "
-                    "a batch fit to continue streaming from it)"
-                )
             else:
-                # With an explicit n_classes, streaming may start unlabelled
-                # (every vertex arrives as unknown until labels extend it).
+                # With an explicit n_classes (or labels arriving with this
+                # call), streaming may start unlabelled.
                 self._stream_labels_ = np.empty(0, dtype=np.int64)
                 self._stream_sums_ = np.zeros((0, 0), dtype=np.float64)
                 self._stream_touched_ = np.zeros(0, dtype=bool)
 
-        # Merge the (possibly extended) label vector.
+    def _merge_stream_labels(self, labels: Optional[np.ndarray]) -> None:
+        """Merge a (possibly extended) label vector into the stream state."""
         if labels is not None:
             y_new = np.asarray(labels)
             y_new, k = validate_labels(y_new, y_new.shape[0], self.n_classes)
@@ -446,12 +404,12 @@ class GraphEncoderEmbedding:
             raise ValueError(
                 "n_classes could not be determined; pass labels or set n_classes"
             )
-        k = int(self.n_classes)
 
-        # Grow state to cover every vertex seen so far.
+    def _grow_stream_state(self, n_needed: int) -> None:
+        """Grow labels / touched mask / sums to cover ``n_needed`` vertices."""
         assert self._stream_labels_ is not None and self._stream_sums_ is not None
         assert self._stream_touched_ is not None
-        n_needed = max(batch.n_vertices, self._stream_labels_.shape[0])
+        k = int(self.n_classes)  # type: ignore[arg-type]
         if self._stream_labels_.shape[0] < n_needed:
             grown = np.full(n_needed, UNKNOWN_LABEL, dtype=np.int64)
             grown[: self._stream_labels_.shape[0]] = self._stream_labels_
@@ -466,22 +424,10 @@ class GraphEncoderEmbedding:
             grown_sums[:rows, :cols] = self._stream_sums_
             self._stream_sums_ = grown_sums
 
-        # Accumulate the batch's raw (un-scaled) class sums: the shared
-        # vectorised kernel with unit scales computes S[u, Y[v]] += w.
-        unit = np.ones(n_needed, dtype=np.float64)
-        accumulate_edges_vectorized(
-            self._stream_sums_.reshape(-1),
-            batch.src,
-            batch.dst,
-            batch.effective_weights(),
-            self._stream_labels_,
-            unit,
-            k,
-        )
-        self._stream_touched_[batch.src] = True
-        self._stream_touched_[batch.dst] = True
-
-        # Finalise: divide by the current class counts and rebuild W.
+    def _finalise_stream(self, t0: float) -> "GraphEncoderEmbedding":
+        """Divide the raw sums by current class counts and rebuild W."""
+        assert self._stream_labels_ is not None and self._stream_sums_ is not None
+        k = int(self.n_classes)  # type: ignore[arg-type]
         counts = class_counts(self._stream_labels_, k).astype(np.float64)
         inv = np.where(counts > 0, 1.0 / np.maximum(counts, 1.0), 0.0)
         Z = self._stream_sums_ * inv[None, :]
@@ -498,6 +444,150 @@ class GraphEncoderEmbedding:
         self._scales_ = scales
         self.is_fitted_ = True
         return self
+
+    def partial_fit(
+        self,
+        edges: GraphLike,
+        labels: Optional[np.ndarray] = None,
+        *,
+        remove: bool = False,
+    ) -> "GraphEncoderEmbedding":
+        """Ingest (or retract) one batch of edges, updating incrementally.
+
+        The estimator accumulates the *raw* per-class weight sums
+        ``S[u, c] = Σ w`` over ingested edges and keeps class counts
+        separate, so the embedding ``Z[:, c] = S[:, c] / count_c`` after any
+        number of batches equals a full-batch :meth:`fit` on the union of
+        the batches (up to floating-point summation order).
+
+        Parameters
+        ----------
+        edges:
+            Graph-like batch of edges.  New vertex ids grow the embedding.
+        labels:
+            Full label vector covering every vertex seen so far (may extend
+            the previous vector for newly arrived vertices; ``-1`` =
+            unknown).  Required on the first call unless the estimator was
+            batch-fitted first, in which case streaming continues from the
+            fitted state.  Labels of already-ingested vertices must not
+            change — their edges were accumulated under the old label.
+        remove:
+            Retract the batch instead of ingesting it: each edge's
+            contribution is *subtracted* from the raw sums — the inverse of
+            a previous ingestion of the same edges (with the same weights).
+            The caller asserts the edges were previously streamed in; the
+            estimator has no edge store to verify against (use
+            :class:`repro.stream.DynamicGraph` +
+            :meth:`update` for checked removals).
+
+        Notes
+        -----
+        A vertex must carry its final label before the first batch
+        containing its incident edges: contributions of an edge are
+        accumulated under the labels known at ingestion time.
+        """
+        if self.laplacian:
+            raise ValueError(
+                "partial_fit is not supported with laplacian=True: streamed "
+                "edges change the degrees the reweighting depends on"
+            )
+        t0 = time.perf_counter()
+        batch = as_edgelist(edges)
+        if (
+            self._stream_sums_ is None
+            and not self.is_fitted_
+            and labels is None
+            and self.n_classes is None
+        ):
+            raise ValueError(
+                "the first partial_fit call must provide labels or the "
+                "estimator must be constructed with n_classes (or follow "
+                "a batch fit to continue streaming from it)"
+            )
+        self._ensure_stream_state()
+        self._merge_stream_labels(labels)
+        k = int(self.n_classes)  # type: ignore[arg-type]
+        n_needed = max(batch.n_vertices, self._stream_labels_.shape[0])
+        self._grow_stream_state(n_needed)
+
+        # Accumulate the batch's raw (un-scaled) class sums: the shared
+        # vectorised kernel with unit scales computes S[u, Y[v]] += w
+        # (negated weights retract a previously-ingested batch).
+        unit = np.ones(n_needed, dtype=np.float64)
+        w = batch.effective_weights()
+        accumulate_edges_vectorized(
+            self._stream_sums_.reshape(-1),
+            batch.src,
+            batch.dst,
+            -w if remove else w,
+            self._stream_labels_,
+            unit,
+            k,
+        )
+        self._stream_touched_[batch.src] = True
+        self._stream_touched_[batch.dst] = True
+        return self._finalise_stream(t0)
+
+    def update(
+        self,
+        delta,
+        labels: Optional[np.ndarray] = None,
+    ) -> "GraphEncoderEmbedding":
+        """Apply a committed mutation batch to the streamed embedding.
+
+        ``delta`` is a :class:`~repro.stream.mutations.MutationDelta` (what
+        :meth:`repro.stream.DynamicGraph.commit` returns): additions are
+        ingested, removals retracted with the weights the removed instances
+        actually carried, and weight updates applied as ``new − old`` — one
+        O(Δ) patch through the backend's ``patch_sums`` kernel when its
+        capabilities declare ``supports_incremental`` (the shared vectorised
+        kernel otherwise).  ``labels`` may extend the vector for vertices
+        the delta added.
+
+        Requires streaming state (a previous :meth:`fit` /
+        :meth:`partial_fit`); for a fully-managed live embedding use
+        :class:`repro.stream.IncrementalEmbedding`.
+        """
+        from ..stream.mutations import MutationDelta
+
+        if not isinstance(delta, MutationDelta):
+            raise TypeError(
+                f"update applies a MutationDelta (from DynamicGraph.commit), "
+                f"got {type(delta)!r}; use partial_fit for plain edge batches"
+            )
+        if self.laplacian:
+            raise ValueError(
+                "update is not supported with laplacian=True: mutations "
+                "change the degrees the reweighting depends on"
+            )
+        if self._stream_sums_ is None and not self.is_fitted_:
+            raise RuntimeError(
+                "update requires a fitted or streaming estimator; call fit "
+                "or partial_fit first"
+            )
+        t0 = time.perf_counter()
+        self._ensure_stream_state()
+        self._merge_stream_labels(labels)
+        k = int(self.n_classes)  # type: ignore[arg-type]
+        n_needed = max(delta.n_vertices_after, self._stream_labels_.shape[0])
+        self._grow_stream_state(n_needed)
+
+        src, dst, dw = delta.patch_edges()
+        if src.size:
+            if type(self._backend).capabilities.supports_incremental:
+                self._backend.patch_sums(
+                    self._stream_sums_.reshape(-1), src, dst, dw,
+                    self._stream_labels_, k,
+                )
+            else:
+                unit = np.ones(n_needed, dtype=np.float64)
+                accumulate_edges_vectorized(
+                    self._stream_sums_.reshape(-1), src, dst, dw,
+                    self._stream_labels_, unit, k,
+                )
+            self._stream_touched_[src] = True
+            self._stream_touched_[dst] = True
+        return self._finalise_stream(t0)
 
     # ------------------------------------------------------------------ #
     # Fitted attributes

@@ -68,8 +68,65 @@ __all__ = [
     "gee_parallel_with_plan",
     "gee_parallel_chunked",
     "owner_rows_accumulate",
+    "patch_sums_parallel",
     "shutdown_workers",
 ]
+
+
+def patch_sums_parallel(
+    S_flat: np.ndarray,
+    src: np.ndarray,
+    dst: np.ndarray,
+    delta_w: np.ndarray,
+    labels: np.ndarray,
+    n_classes: int,
+    *,
+    n_workers: Optional[int] = None,
+) -> None:
+    """Apply a signed edge delta to flat raw per-class sums, in place.
+
+    The parallel O(Δ) patch kernel: the *gather* half of the patch (label
+    gathers, known-label masks, flat-index arithmetic — the bulk of the work
+    for typical deltas) is split into contiguous edge slabs processed by a
+    thread pool, NumPy releasing the GIL for the array ops; the final
+    scatter runs serially over the slab results in slab order, so the
+    update is deterministic (fixed association order) like the owner-computes
+    full kernel.  Forked workers would lose here: a delta batch is far too
+    small to amortise shipping it through shared memory.
+
+    Deltas below a few thousand edges skip the pool entirely — thread
+    dispatch would cost more than it saves.
+    """
+    k = int(n_classes)
+    m = int(src.size)
+    workers = effective_worker_count(n_workers)
+    if m < 4096 or workers <= 1:
+        from .gee_vectorized import patch_sums_vectorized
+
+        patch_sums_vectorized(S_flat, src, dst, delta_w, labels, k)
+        return
+    from concurrent.futures import ThreadPoolExecutor
+
+    slabs = [r for r in block_ranges(m, min(workers, m)) if r[0] < r[1]]
+
+    def gather(slab: Tuple[int, int]) -> Tuple[np.ndarray, np.ndarray]:
+        lo, hi = slab
+        s, d, w = src[lo:hi], dst[lo:hi], delta_w[lo:hi]
+        y_d = labels[d]
+        y_s = labels[s]
+        known_d = y_d != UNKNOWN_LABEL
+        known_s = y_s != UNKNOWN_LABEL
+        flat = np.concatenate(
+            (s[known_d] * k + y_d[known_d], d[known_s] * k + y_s[known_s])
+        )
+        contrib = np.concatenate((w[known_d], w[known_s]))
+        return flat, contrib
+
+    with ThreadPoolExecutor(max_workers=len(slabs)) as pool:
+        parts = list(pool.map(gather, slabs))
+    flat = np.concatenate([p[0] for p in parts])
+    contrib = np.concatenate([p[1] for p in parts])
+    scatter_add(S_flat, flat, contrib)
 
 
 def owner_rows_accumulate(

@@ -35,6 +35,7 @@ __all__ = [
     "gee_vectorized_chunked",
     "accumulate_edges_vectorized",
     "accumulate_chunked_plan",
+    "patch_sums_vectorized",
     "scatter_add",
 ]
 
@@ -103,6 +104,27 @@ def accumulate_edges_vectorized(
         flat = dst[known] * n_classes + y_src[known]
         contrib = scales[src[known]] * weights[known]
         scatter_add(Z_flat, flat, contrib)
+
+
+def patch_sums_vectorized(
+    S_flat: np.ndarray,
+    src: np.ndarray,
+    dst: np.ndarray,
+    delta_w: np.ndarray,
+    labels: np.ndarray,
+    n_classes: int,
+) -> None:
+    """Apply a signed edge delta to flat raw per-class sums, in place.
+
+    The vectorised O(Δ) patch kernel behind the ``supports_incremental``
+    capability: raw sums are the unit-scale special case of the shared edge
+    pass (``S[u, Y[v]] += Δw`` is ``accumulate_edges_vectorized`` with every
+    scale pinned to 1), so the patch reuses the exact kernel the full embeds
+    run and the incremental trajectory stays bit-compatible with it.
+    """
+    n = S_flat.size // int(n_classes)
+    unit = np.ones(n, dtype=np.float64)
+    accumulate_edges_vectorized(S_flat, src, dst, delta_w, labels, unit, n_classes)
 
 
 def gee_vectorized(

@@ -31,13 +31,21 @@ Two sharp edges, both documented on the methods involved:
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from .validation import validate_edges, validate_labels
 
-__all__ = ["EmbedPlan", "ChunkedPlan", "edge_fingerprint", "csr_fingerprint"]
+__all__ = [
+    "EmbedPlan",
+    "ChunkedPlan",
+    "edge_fingerprint",
+    "csr_fingerprint",
+    "edge_fingerprint_full",
+    "csr_fingerprint_full",
+]
 
 #: Number of evenly-spaced edge samples hashed into the fingerprint.
 _FINGERPRINT_SAMPLES = 32
@@ -95,6 +103,40 @@ def csr_fingerprint(csr) -> Tuple:
             ).tolist()
         )
     return ("csr", int(csr.n_vertices), int(s), sample)
+
+
+def edge_fingerprint_full(edges) -> Tuple:
+    """An exact fingerprint hashing *every* edge (O(s), not sampled).
+
+    The sampled :func:`edge_fingerprint` is O(1) but best-effort for
+    in-place mutation: edits that touch only un-sampled edges go undetected
+    beyond ~32 edges.  This variant digests the full ``src``/``dst``/weight
+    arrays, so any content change trips the plan cache — the mode
+    ``graph.plan(K, fingerprint="full")`` selects.  The digest is a few
+    GB/s of hashing; cheap next to an embed, but not free, which is why
+    sampling stays the default.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(np.ascontiguousarray(edges.src).tobytes())
+    h.update(np.ascontiguousarray(edges.dst).tobytes())
+    if edges.weights is not None:
+        h.update(np.ascontiguousarray(edges.weights).tobytes())
+    return (
+        "edges-full",
+        int(edges.n_vertices),
+        int(edges.n_edges),
+        edges.weights is not None,
+        h.hexdigest(),
+    )
+
+
+def csr_fingerprint_full(csr) -> Tuple:
+    """Exact (every entry hashed) fingerprint of a CSR adjacency."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(np.ascontiguousarray(csr.indptr).tobytes())
+    h.update(np.ascontiguousarray(csr.indices).tobytes())
+    h.update(np.ascontiguousarray(csr.weights).tobytes())
+    return ("csr-full", int(csr.n_vertices), int(csr.n_edges), h.hexdigest())
 
 
 class EmbedPlan:
@@ -274,6 +316,50 @@ class EmbedPlan:
             cached = _balanced_row_ranges(self.csr.indptr, self.csr.in_indptr, n_parts)
             self._row_ranges[n_parts] = cached
         return cached
+
+    # ------------------------------------------------------------------ #
+    # Copy-on-write extension (append-only graph mutations)
+    # ------------------------------------------------------------------ #
+    def extended(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        weights: np.ndarray,
+        *,
+        graph,
+        fingerprint: Tuple,
+    ) -> "EmbedPlan":
+        """A plan for the append-extended graph, reusing this plan's artifacts.
+
+        The fast path behind append-only :class:`~repro.stream.dynamic.DynamicGraph`
+        commits: instead of recompiling against the new version's edge
+        arrays (re-validating all ``E`` edges, rebuilding the flat
+        scatter-index components), the returned plan seeds its lazy fields
+        by concatenating the ``Δ`` appended edges onto whichever artifacts
+        this plan already materialised — no validation, and index
+        arithmetic only on the ``Δ`` tail.
+
+        Copy-on-write: *this* plan is left untouched, so snapshot readers
+        of the previous version who hold it keep embedding exactly their
+        version's edge set.  ``graph`` must be the post-append facade over
+        the same vertex set; the appended endpoint arrays must already be
+        validated (they come from a committed mutation batch).
+        """
+        if int(graph.n_vertices) != self.n_vertices:
+            raise ValueError(
+                "extended() cannot change the vertex set "
+                f"({self.n_vertices} -> {int(graph.n_vertices)}); recompile the plan"
+            )
+        new = EmbedPlan(graph, self.n_classes, fingerprint=fingerprint)
+        if self._src is not None:
+            new._src = np.concatenate((self._src, src))
+            new._dst = np.concatenate((self._dst, dst))
+            new._weights = np.concatenate((self._weights, weights))
+        if self._src_flat is not None:
+            new._src_flat = np.concatenate((self._src_flat, src * self.n_classes))
+        if self._dst_flat is not None:
+            new._dst_flat = np.concatenate((self._dst_flat, dst * self.n_classes))
+        return new
 
     def scipy_adjacency(self):
         """The adjacency as ``scipy.sparse.csr_matrix``, cached."""

@@ -222,7 +222,13 @@ def gee_unsupervised(
         input.  The facade's cached views — and, for registry backends, its
         compiled :class:`~repro.core.plan.EmbedPlan` — are shared by every
         iteration, so no per-round validation or adjacency rebuilding
-        happens.
+        happens.  A :class:`~repro.stream.dynamic.DynamicGraph` is also
+        accepted: the loop runs on its current snapshot and *carries its
+        state across versions* — the converged labels are stored on the
+        dynamic graph, and the next ``gee_unsupervised`` call on it (after
+        more commits) warm-starts from them instead of a random
+        assignment, so refinement over a drifting graph converges in a
+        couple of iterations per version instead of starting cold.
     n_classes:
         Number of clusters / embedding dimensions ``K``.
     max_iterations:
@@ -272,7 +278,21 @@ def gee_unsupervised(
         graph's in-memory CSR — combine ``chunk_edges`` with
         ``delta=False`` when that view must not be materialised.
     """
-    graph = Graph.coerce(edges)
+    from ..stream.dynamic import DynamicGraph
+
+    dynamic: Optional[DynamicGraph] = None
+    if isinstance(edges, DynamicGraph):
+        dynamic = edges
+        graph = dynamic.graph
+        if initial_labels is None and dynamic.refinement_state is not None:
+            _, carried = dynamic.refinement_state
+            if carried.shape[0] <= graph.n_vertices:
+                # Warm start from the previous version's converged labels;
+                # vertices added since arrive as -1 (randomised below).
+                initial_labels = np.full(graph.n_vertices, -1, dtype=np.int64)
+                initial_labels[: carried.shape[0]] = carried
+    else:
+        graph = Graph.coerce(edges)
     if graph.n_vertices == 0:
         raise ValueError("GEE requires at least one vertex")
     if n_classes <= 0:
@@ -384,6 +404,8 @@ def gee_unsupervised(
     # Plan-based results view the plan's reused buffer; detach so the
     # returned embedding survives later embeds on the same graph.
     result = result.detached()
+    if dynamic is not None:
+        dynamic.refinement_state = (dynamic.version, labels.copy())
     return RefinementResult(
         embedding=result.embedding,
         labels=labels,

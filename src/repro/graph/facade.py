@@ -74,6 +74,10 @@ class Graph:
         #: (see :meth:`plan` — detects mutations that happen between view
         #: construction and the first plan compilation).
         self._view_fingerprint = None
+        #: Mutation-detection mode: ``"sampled"`` (O(1), best-effort for
+        #: in-place edits) or ``"full"`` (O(s) digest, exact).  Sticky —
+        #: set via ``plan(K, fingerprint="full")``.
+        self._fingerprint_mode = "sampled"
 
     #: Cap on cached plans per graph (each holds two s-length flat-index
     #: arrays and an n*K buffer); oldest is evicted beyond this.
@@ -127,13 +131,11 @@ class Graph:
         """The canonical edge-list view (built lazily from an adopted CSR)."""
         if self._edges is None:
             assert self._csr is not None
-            from ..core.plan import csr_fingerprint
-
             self._edges = self._csr.to_edgelist()
             # Record what the adopted CSR looked like when this snapshot
             # was taken, so a later plan() can tell whether the CSR was
             # mutated in between.
-            self._view_fingerprint = csr_fingerprint(self._csr)
+            self._view_fingerprint = self.edge_data_fingerprint()
         return self._edges
 
     @property
@@ -182,12 +184,10 @@ class Graph:
     def csr(self) -> CSRGraph:
         """The CSR out-adjacency (built once, then cached)."""
         if self._csr is None:
-            from ..core.plan import edge_fingerprint
-
             self._csr = CSRGraph.from_edgelist(self._edges)
             # Record what the edges looked like when this view was built,
             # so a later plan() can tell whether they were mutated since.
-            self._view_fingerprint = edge_fingerprint(self._edges)
+            self._view_fingerprint = self.edge_data_fingerprint()
         return self._csr
 
     @property
@@ -246,12 +246,34 @@ class Graph:
     # ------------------------------------------------------------------ #
     # Compiled embed plans
     # ------------------------------------------------------------------ #
+    def edge_data_fingerprint(self) -> Tuple:
+        """Fingerprint of the edge source of truth, in the graph's mode.
+
+        Samples (default) or fully digests (``fingerprint="full"`` was
+        requested on :meth:`plan`) whichever representation is canonical:
+        the adopted CSR for CSR-adopted graphs, the edge list otherwise.
+        """
+        from ..core.plan import (
+            csr_fingerprint,
+            csr_fingerprint_full,
+            edge_fingerprint,
+            edge_fingerprint_full,
+        )
+
+        full = self._fingerprint_mode == "full"
+        # A CSR-adopted graph's edge list is a derived snapshot, so sampling
+        # it would never see CSR mutations.
+        if self._adopted_csr:
+            return csr_fingerprint_full(self._csr) if full else csr_fingerprint(self._csr)
+        return edge_fingerprint_full(self.edges) if full else edge_fingerprint(self.edges)
+
     def plan(
         self,
         n_classes: int,
         *,
         chunk_edges: Optional[int] = None,
         memory_budget_bytes: Optional[int] = None,
+        fingerprint: Optional[str] = None,
     ):
         """The compiled :class:`~repro.core.plan.EmbedPlan` for ``K`` classes.
 
@@ -273,17 +295,24 @@ class Graph:
         indices lazily, never materialising the O(E) flat-index arrays.
         Only backends whose capabilities declare ``supports_chunked``
         accept a chunked plan.
+
+        ``fingerprint`` selects the mutation-detection mode and is sticky
+        for the graph: ``"sampled"`` (the default — O(1), exact for array
+        replacement, best-effort for in-place edits beyond ~32 edges) or
+        ``"full"`` (an O(s) digest of every edge, exact for any content
+        change).  Switching modes on a graph with cached plans drops them
+        once (the fingerprints are not comparable across modes).
         """
-        from ..core.plan import EmbedPlan, csr_fingerprint, edge_fingerprint
+        from ..core.plan import EmbedPlan
 
         k = int(n_classes)
-        # Fingerprint the source of truth: a CSR-adopted graph's edge list
-        # is a derived snapshot, so sampling it would never see CSR
-        # mutations.
-        if self._adopted_csr:
-            fingerprint = csr_fingerprint(self._csr)
-        else:
-            fingerprint = edge_fingerprint(self.edges)
+        if fingerprint is not None:
+            if fingerprint not in ("sampled", "full"):
+                raise ValueError(
+                    f'fingerprint must be "sampled" or "full", got {fingerprint!r}'
+                )
+            self._fingerprint_mode = fingerprint
+        fingerprint = self.edge_data_fingerprint()
         # A plan must never pair fresh edge arrays with stale derived
         # views.  The baseline fingerprint is whichever is older: the one
         # the cached plans were compiled under (a mismatch clears the lot),

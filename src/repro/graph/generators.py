@@ -19,7 +19,8 @@ and never touch global RNG state.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -35,6 +36,9 @@ __all__ = [
     "star_graph",
     "path_graph",
     "complete_graph",
+    "temporal_drift",
+    "DriftBatch",
+    "DriftScenario",
 ]
 
 SeedLike = Union[None, int, np.random.Generator]
@@ -262,6 +266,175 @@ def configuration_power_law(
     src = np.repeat(np.arange(n_vertices, dtype=np.int64), out_deg)
     dst = rng.integers(0, n_vertices, size=src.size, dtype=np.int64)
     return EdgeList(src, dst, None, n_vertices)
+
+
+@dataclass(frozen=True)
+class DriftBatch:
+    """One step of a temporal-drift scenario.
+
+    ``add`` holds the edges arriving this step; ``remove_src``/``remove_dst``
+    name departing edge *instances* (sampled from edges that exist at this
+    point of the schedule, so replaying the batches through
+    ``DynamicGraph.remove_edges`` never addresses a missing edge);
+    ``relabelled`` lists the vertices whose community changed just before
+    the step's arrivals were sampled.
+    """
+
+    add: EdgeList
+    remove_src: np.ndarray
+    remove_dst: np.ndarray
+    relabelled: np.ndarray
+
+    @property
+    def n_added(self) -> int:
+        return self.add.n_edges
+
+    @property
+    def n_removed(self) -> int:
+        return int(self.remove_src.size)
+
+
+@dataclass(frozen=True)
+class DriftScenario:
+    """A reproducible mutation schedule over a community-structured graph."""
+
+    initial: EdgeList
+    labels: np.ndarray
+    batches: List[DriftBatch]
+    final_labels: np.ndarray
+
+    @property
+    def n_batches(self) -> int:
+        return len(self.batches)
+
+    def total_churn(self) -> int:
+        """Total edges added plus removed across every batch."""
+        return sum(b.n_added + b.n_removed for b in self.batches)
+
+
+def _community_edges(
+    rng: np.random.Generator,
+    labels: np.ndarray,
+    m: int,
+    *,
+    within_fraction: float,
+    weighted: bool,
+) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    """Sample ``m`` edges whose endpoints respect the community structure."""
+    n = labels.shape[0]
+    src = rng.integers(0, n, size=m, dtype=np.int64)
+    dst = rng.integers(0, n, size=m, dtype=np.int64)
+    within = rng.random(m) < within_fraction
+    if np.any(within):
+        # Redirect the within-community edges' destinations to a uniform
+        # member of the source's community (grouped member table, no loop).
+        order = np.argsort(labels, kind="stable")
+        sorted_labels = labels[order]
+        starts = np.searchsorted(sorted_labels, labels[src[within]], side="left")
+        ends = np.searchsorted(sorted_labels, labels[src[within]], side="right")
+        pick = starts + (rng.random(int(within.sum())) * (ends - starts)).astype(
+            np.int64
+        )
+        dst[within] = order[pick]
+    w = rng.uniform(0.5, 1.5, size=m) if weighted else None
+    return src, dst, w
+
+
+def temporal_drift(
+    n_vertices: int,
+    n_edges: int,
+    n_classes: int,
+    *,
+    n_batches: int = 10,
+    arrival_rate: float = 0.01,
+    removal_rate: float = 0.01,
+    drift_fraction: float = 0.0,
+    within_fraction: float = 0.85,
+    weighted: bool = False,
+    seed: SeedLike = None,
+) -> DriftScenario:
+    """Generate an edge-churn schedule over a community-structured graph.
+
+    The stand-in for a production graph that never sits still: an initial
+    graph whose edges mostly stay inside ``n_classes`` planted communities,
+    followed by ``n_batches`` mutation steps.  Each step removes
+    ``removal_rate × current_E`` uniformly-sampled existing edge instances,
+    adds ``arrival_rate × current_E`` fresh community-respecting edges, and
+    (with ``drift_fraction > 0``) first migrates that fraction of vertices
+    to a random other community — subsequent arrivals follow the *new*
+    membership, which is what slowly invalidates a stale embedding.
+
+    The schedule is internally consistent: removals are sampled from the
+    edge multiset as it stands at that step, so replaying the batches
+    through :class:`~repro.stream.dynamic.DynamicGraph` (``remove_edges`` +
+    ``add_edges`` + ``commit`` per batch) is always legal.  Used by
+    ``benchmarks/bench_stream.py`` and ``examples/streaming_drift.py``.
+    """
+    if n_vertices <= 0:
+        raise ValueError("n_vertices must be positive")
+    if n_classes <= 0 or n_classes > n_vertices:
+        raise ValueError("need 1 <= n_classes <= n_vertices")
+    if n_batches < 0:
+        raise ValueError("n_batches must be non-negative")
+    if arrival_rate < 0 or removal_rate < 0:
+        raise ValueError("arrival_rate and removal_rate must be non-negative")
+    if not 0 <= drift_fraction <= 1:
+        raise ValueError("drift_fraction must be in [0, 1]")
+    if not 0 <= within_fraction <= 1:
+        raise ValueError("within_fraction must be in [0, 1]")
+    rng = _rng(seed)
+    labels = rng.integers(0, n_classes, size=n_vertices).astype(np.int64)
+    src, dst, w = _community_edges(
+        rng, labels, int(n_edges), within_fraction=within_fraction, weighted=weighted
+    )
+    initial = EdgeList(src.copy(), dst.copy(), None if w is None else w.copy(),
+                       n_vertices)
+    initial_labels = labels.copy()
+
+    batches: List[DriftBatch] = []
+    for _ in range(n_batches):
+        # Community drift first: later arrivals follow the new membership.
+        relabelled = np.empty(0, dtype=np.int64)
+        if drift_fraction > 0:
+            moving = np.flatnonzero(rng.random(n_vertices) < drift_fraction)
+            if moving.size and n_classes > 1:
+                shift = rng.integers(1, n_classes, size=moving.size)
+                labels[moving] = (labels[moving] + shift) % n_classes
+                relabelled = moving
+        current_e = src.size
+        n_remove = min(int(round(removal_rate * current_e)), current_e)
+        if n_remove:
+            positions = rng.choice(current_e, size=n_remove, replace=False)
+            rem_src, rem_dst = src[positions].copy(), dst[positions].copy()
+            keep = np.ones(current_e, dtype=bool)
+            keep[positions] = False
+            src, dst = src[keep], dst[keep]
+            if w is not None:
+                w = w[keep]
+        else:
+            rem_src = rem_dst = np.empty(0, dtype=np.int64)
+        n_add = int(round(arrival_rate * current_e))
+        add_src, add_dst, add_w = _community_edges(
+            rng, labels, n_add, within_fraction=within_fraction, weighted=weighted
+        )
+        src = np.concatenate((src, add_src))
+        dst = np.concatenate((dst, add_dst))
+        if w is not None:
+            w = np.concatenate((w, add_w))
+        batches.append(
+            DriftBatch(
+                add=EdgeList(add_src, add_dst, add_w, n_vertices),
+                remove_src=rem_src,
+                remove_dst=rem_dst,
+                relabelled=relabelled,
+            )
+        )
+    return DriftScenario(
+        initial=initial,
+        labels=initial_labels,
+        batches=batches,
+        final_labels=labels.copy(),
+    )
 
 
 def star_graph(n_leaves: int) -> EdgeList:

@@ -212,3 +212,70 @@ def test_chunk_capable_backends_cover_the_engine():
     # and parallel execution strategies run it.
     capable = {n for n in list_backends() if backend_capabilities(n).supports_chunked}
     assert {"vectorized", "sparse", "parallel"} <= capable
+
+
+def test_incremental_capable_backends_cover_the_engine():
+    # The dynamic-graph engine's contract: at least the vectorized, sparse
+    # and parallel strategies implement the O(Δ) patch kernel.
+    capable = {
+        n for n in list_backends() if backend_capabilities(n).supports_incremental
+    }
+    assert {"vectorized", "sparse", "parallel"} <= capable
+
+
+@pytest.mark.parametrize("backend_name", sorted(list_backends()))
+def test_incremental_capability_honoured(backend_name):
+    S = np.zeros(4 * K)
+    args = (np.array([0]), np.array([1]), np.array([2.0]),
+            np.array([0, 1, -1, 2]), K)
+    backend = get_backend(backend_name)
+    if backend_capabilities(backend_name).supports_incremental:
+        backend.patch_sums(S, *args)
+        assert S[0 * K + 1] == 2.0 and S[1 * K + 0] == 2.0
+    else:
+        with pytest.raises(ValueError, match="incremental"):
+            backend.patch_sums(S, *args)
+
+
+# --------------------------------------------------------------------------- #
+# Regression: duplicate-edge removal must not double-subtract
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize(
+    "backend_name",
+    sorted(n for n in list_backends() if backend_capabilities(n).supports_incremental),
+)
+def test_multigraph_removal_subtracts_exact_multiplicity(backend_name):
+    """Removing one instance of a duplicated edge must subtract one weight.
+
+    A removal path keyed on (src, dst) pairs instead of edge *instances*
+    would subtract every duplicate's contribution at once, silently
+    corrupting the raw sums; the incremental embedding then diverges from a
+    fresh fit on the mutated multigraph.
+    """
+    from repro.graph.edgelist import EdgeList as EL
+    from repro.stream import DynamicGraph, IncrementalEmbedding
+
+    # (0, 1) three times with distinct weights, plus a duplicated self-loop.
+    edges = EL(
+        src=np.array([0, 0, 0, 2, 2, 1, 3]),
+        dst=np.array([1, 1, 1, 2, 2, 3, 0]),
+        weights=np.array([1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0]),
+        n_vertices=4,
+    )
+    labels = np.array([0, 1, 2, 0])
+    dyn = DynamicGraph(edges)
+    inc = IncrementalEmbedding(dyn, labels, n_classes=3, backend=backend_name)
+    dyn.remove_edges([0, 2], [1, 2])  # one instance of each duplicated pair
+    delta = dyn.commit()
+    assert delta.removed_weights.tolist() == [1.0, 8.0]
+    inc.update()
+
+    remaining = dyn.graph.edges
+    assert remaining.n_edges == 5  # exactly one instance of each pair gone
+    reference = get_backend("python").embed(remaining, labels, 3)
+    np.testing.assert_allclose(
+        inc.embedding,
+        reference.embedding,
+        atol=ATOL,
+        err_msg=f"{backend_name} double-subtracted a duplicated edge",
+    )

@@ -278,3 +278,76 @@ class TestDegenerateInputs:
         before = model.embedding_.copy()
         model.partial_fit(_empty_edges())
         np.testing.assert_allclose(model.embedding_, before, atol=1e-12)
+
+
+class TestStreamingRemovals:
+    """partial_fit(remove=True) and update(MutationDelta)."""
+
+    def test_remove_inverts_ingestion(self, planted_case):
+        edges, _, y = planted_case
+        half = edges.n_edges // 2
+        first = EdgeList(edges.src[:half], edges.dst[:half],
+                         None, edges.n_vertices)
+        second = EdgeList(edges.src[half:], edges.dst[half:],
+                          None, edges.n_vertices)
+        model = GraphEncoderEmbedding(3).partial_fit(first, labels=y)
+        model.partial_fit(second)
+        model.partial_fit(second, remove=True)
+        only_first = GraphEncoderEmbedding(3).partial_fit(first, labels=y)
+        np.testing.assert_allclose(
+            model.embedding_, only_first.embedding_, atol=ATOL
+        )
+
+    def test_remove_weighted_batch(self):
+        y = np.array([0, 1, 0, 1])
+        e1 = EdgeList(np.array([0, 1]), np.array([1, 2]),
+                      np.array([2.0, 3.0]), 4)
+        e2 = EdgeList(np.array([2, 3]), np.array([3, 0]),
+                      np.array([4.0, 5.0]), 4)
+        model = GraphEncoderEmbedding(2).partial_fit(e1, labels=y)
+        model.partial_fit(e2)
+        model.partial_fit(e1, remove=True)
+        alone = GraphEncoderEmbedding(2).partial_fit(e2, labels=y)
+        np.testing.assert_allclose(model.embedding_, alone.embedding_, atol=ATOL)
+
+    def test_update_applies_mutation_delta(self, planted_case):
+        from repro.graph import Graph
+        from repro.stream import DynamicGraph
+
+        edges, _, y = planted_case
+        dyn = DynamicGraph(edges)
+        model = GraphEncoderEmbedding(3).fit(dyn.graph, y)
+        dyn.add_edges([0, 1, 2], [5, 6, 7])
+        dyn.remove_edges(edges.src[:2], edges.dst[:2])
+        delta = dyn.commit()
+        model.update(delta)
+        fresh = GraphEncoderEmbedding(3).fit(Graph(dyn.graph.edges.copy()), y)
+        np.testing.assert_allclose(model.embedding_, fresh.embedding_, atol=ATOL)
+
+    def test_update_with_vertex_growth_and_labels(self, planted_case):
+        from repro.graph import Graph
+        from repro.stream import DynamicGraph
+
+        edges, _, y = planted_case
+        dyn = DynamicGraph(edges)
+        model = GraphEncoderEmbedding(3).fit(dyn.graph, y)
+        dyn.add_vertices(2)
+        n = edges.n_vertices
+        dyn.add_edges([n, n + 1], [0, 1])
+        delta = dyn.commit()
+        y2 = np.concatenate([y, [0, 2]])
+        model.update(delta, labels=y2)
+        fresh = GraphEncoderEmbedding(3).fit(Graph(dyn.graph.edges.copy()), y2)
+        np.testing.assert_allclose(model.embedding_, fresh.embedding_, atol=ATOL)
+
+    def test_update_requires_delta_and_fitted_state(self, planted_case):
+        from repro.stream import DynamicGraph
+
+        edges, _, y = planted_case
+        with pytest.raises(TypeError, match="MutationDelta"):
+            GraphEncoderEmbedding(3).update(edges)
+        dyn = DynamicGraph(edges)
+        dyn.add_edges([0], [1])
+        delta = dyn.commit()
+        with pytest.raises(RuntimeError, match="fit"):
+            GraphEncoderEmbedding(3).update(delta)

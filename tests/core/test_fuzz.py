@@ -180,3 +180,63 @@ def test_fingerprint_detects_replacement_beyond_sample_cap():
     )
     graph2 = Graph.coerce(bigger)
     assert graph2.plan(3).fingerprint != plan.fingerprint
+
+
+def test_sampled_fingerprint_misses_unsampled_inplace_mutation():
+    """The documented gap the "full" mode exists to close.
+
+    Beyond _FINGERPRINT_SAMPLES edges the sampled fingerprint hashes an
+    evenly-spaced subset; an in-place edit between two sample points goes
+    undetected and the stale plan survives.
+    """
+    rng = np.random.default_rng(77)
+    edges = EdgeList(
+        rng.integers(0, 50, size=500),
+        rng.integers(0, 50, size=500),
+        rng.uniform(0.1, 1.0, size=500),
+        50,
+    )
+    graph = Graph.coerce(edges)
+    plan = graph.plan(3)
+    edges.weights[1] += 5.0  # positions 0 and 499 are sampled; 1 is not
+    assert graph.plan(3) is plan  # stale plan survives — sampling's gap
+
+
+def test_full_fingerprint_detects_any_inplace_mutation():
+    rng = np.random.default_rng(78)
+    for case in range(50):
+        s = int(rng.integers(100, 600))  # well beyond the sample cap
+        edges = EdgeList(
+            rng.integers(0, 40, size=s),
+            rng.integers(0, 40, size=s),
+            rng.uniform(0.1, 1.0, size=s),
+            40,
+        )
+        graph = Graph.coerce(edges)
+        plan = graph.plan(3, fingerprint="full")
+        pos = int(rng.integers(0, s))
+        field = ("src", "dst", "weights")[int(rng.integers(0, 3))]
+        if field == "src":
+            edges.src[pos] = (edges.src[pos] + 1) % 40
+        elif field == "dst":
+            edges.dst[pos] = (edges.dst[pos] + 1) % 40
+        else:
+            edges.weights[pos] += 1.0
+        new_plan = graph.plan(3)  # mode is sticky: still exact
+        assert new_plan is not plan, (
+            f"case {case}: full fingerprint missed in-place mutation of "
+            f"{field}[{pos}] on {s} edges"
+        )
+
+
+def test_fingerprint_mode_is_sticky_and_validated():
+    edges = EdgeList(np.array([0, 1]), np.array([1, 2]), None, 3)
+    graph = Graph.coerce(edges)
+    with pytest.raises(ValueError, match="sampled.*full|full.*sampled"):
+        graph.plan(2, fingerprint="exact")
+    plan = graph.plan(2, fingerprint="full")
+    assert plan.fingerprint[0] == "edges-full"
+    assert graph.plan(2) is plan  # unchanged data, sticky full mode
+    # Switching back to sampled drops the incomparable cached plan once.
+    resampled = graph.plan(2, fingerprint="sampled")
+    assert resampled.fingerprint[0] == "edges"

@@ -145,3 +145,65 @@ class TestOtherGenerators:
     def test_complete_graph_invalid(self):
         with pytest.raises(ValueError):
             complete_graph(0)
+
+
+class TestTemporalDrift:
+    def test_schedule_shape_and_determinism(self):
+        from repro.graph import temporal_drift
+
+        a = temporal_drift(80, 400, 4, n_batches=5, arrival_rate=0.02,
+                           removal_rate=0.02, drift_fraction=0.05, seed=3)
+        b = temporal_drift(80, 400, 4, n_batches=5, arrival_rate=0.02,
+                           removal_rate=0.02, drift_fraction=0.05, seed=3)
+        assert a.n_batches == 5
+        assert a.initial.n_edges == 400
+        assert a.labels.shape == (80,) and a.labels.max() < 4
+        for ba, bb in zip(a.batches, b.batches):
+            np.testing.assert_array_equal(ba.add.src, bb.add.src)
+            np.testing.assert_array_equal(ba.remove_src, bb.remove_src)
+            np.testing.assert_array_equal(ba.relabelled, bb.relabelled)
+        assert a.total_churn() > 0
+
+    def test_removals_are_always_replayable(self):
+        """Every removal addresses an instance existing at that step."""
+        from repro.graph import temporal_drift
+        from repro.stream import DynamicGraph
+
+        scen = temporal_drift(60, 300, 3, n_batches=6, arrival_rate=0.05,
+                              removal_rate=0.05, drift_fraction=0.1,
+                              weighted=True, seed=9)
+        dyn = DynamicGraph(scen.initial)
+        for batch in scen.batches:
+            if batch.n_removed:
+                dyn.remove_edges(batch.remove_src, batch.remove_dst)
+            if batch.n_added:
+                dyn.add_edges(batch.add.src, batch.add.dst, batch.add.weights)
+            dyn.commit()  # raises MissingEdgeError if the schedule lied
+        assert dyn.version == 6
+
+    def test_community_structure_respected(self):
+        from repro.graph import temporal_drift
+
+        scen = temporal_drift(200, 2000, 4, n_batches=0,
+                              within_fraction=1.0, seed=1)
+        y = scen.labels
+        assert np.all(y[scen.initial.src] == y[scen.initial.dst])
+
+    def test_drift_moves_labels(self):
+        from repro.graph import temporal_drift
+
+        scen = temporal_drift(100, 500, 4, n_batches=3, drift_fraction=0.2,
+                              seed=2)
+        assert np.any(scen.final_labels != scen.labels)
+        moved = np.concatenate([b.relabelled for b in scen.batches])
+        assert moved.size > 0
+
+    def test_parameter_validation(self):
+        from repro.graph import temporal_drift
+
+        with pytest.raises(ValueError):
+            temporal_drift(10, 20, 0)
+        with pytest.raises(ValueError):
+            temporal_drift(10, 20, 2, drift_fraction=1.5)
+        with pytest.raises(ValueError):
+            temporal_drift(10, 20, 2, arrival_rate=-0.1)

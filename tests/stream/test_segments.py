@@ -1,0 +1,148 @@
+"""Mutation × out-of-core interplay: segmented stores under DynamicGraph."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import get_backend
+from repro.graph import EdgeList, erdos_renyi
+from repro.graph.io import save_chunked, ChunkedEdgeSource
+from repro.stream import (
+    DynamicGraph,
+    IncrementalEmbedding,
+    SegmentedEdgeSource,
+    SegmentedEdgeStore,
+)
+
+CHUNK_ATOL = 1e-12
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    return tmp_path / "edges"
+
+
+class TestSegmentedStore:
+    def test_create_append_open_roundtrip(self, store_path):
+        base = erdos_renyi(30, 100, weighted=True, seed=1)
+        extra = EdgeList(np.array([0, 1]), np.array([2, 3]),
+                         np.array([1.5, 2.5]), 30)
+        store = SegmentedEdgeStore.create(store_path, base)
+        store.append(extra)
+        assert store.n_segments == 2 and store.n_edges == 102
+
+        reopened = SegmentedEdgeStore.open(store_path)
+        assert reopened.n_segments == 2
+        got = reopened.source(chunk_edges=7).to_edgelist()
+        expected = EdgeList(
+            np.concatenate([base.src, extra.src]),
+            np.concatenate([base.dst, extra.dst]),
+            np.concatenate([base.weights, extra.weights]),
+            30,
+        )
+        assert got == expected
+
+    def test_create_refuses_existing_store(self, store_path):
+        base = erdos_renyi(10, 20, seed=2)
+        SegmentedEdgeStore.create(store_path, base)
+        with pytest.raises(FileExistsError):
+            SegmentedEdgeStore.create(store_path, base)
+
+    def test_append_weightedness_mismatch_raises(self, store_path):
+        store = SegmentedEdgeStore.create(store_path, erdos_renyi(10, 20, seed=3))
+        weighted = EdgeList(np.array([0]), np.array([1]), np.array([2.0]), 10)
+        with pytest.raises(ValueError, match="weightedness"):
+            store.append(weighted)
+
+    def test_rewrite_collapses_to_one_segment(self, store_path):
+        store = SegmentedEdgeStore.create(store_path, erdos_renyi(10, 20, seed=4))
+        store.append(EdgeList(np.array([0]), np.array([1]), None, 10))
+        store.rewrite(erdos_renyi(12, 30, weighted=True, seed=5))
+        assert store.n_segments == 1 and store.n_edges == 30 and store.weighted
+        assert SegmentedEdgeStore.open(store_path).source().to_edgelist().n_edges == 30
+
+    @pytest.mark.parametrize("chunk_edges", [1, 7, 1000])
+    def test_segmented_source_chunks_cross_boundaries(self, store_path, chunk_edges):
+        store = SegmentedEdgeStore.create(store_path, erdos_renyi(20, 45, seed=6))
+        for seed in (7, 8):
+            store.append(erdos_renyi(20, 13, seed=seed))
+        source = store.source(chunk_edges=chunk_edges)
+        assert isinstance(source, SegmentedEdgeSource)
+        streamed = [c for c in source.iter_chunks()]
+        assert sum(c[0].size for c in streamed) == 71
+        assert all(c[0].size <= chunk_edges for c in streamed)
+        src = np.concatenate([c[0] for c in streamed])
+        expected = source.to_edgelist()
+        np.testing.assert_array_equal(src, expected.src)
+
+    def test_segmented_source_feeds_chunked_backends(self, store_path):
+        store = SegmentedEdgeStore.create(store_path, erdos_renyi(25, 60, seed=9))
+        store.append(erdos_renyi(25, 15, seed=10))
+        source = store.source(chunk_edges=11)
+        y = np.random.default_rng(0).integers(0, 3, size=25)
+        chunked = get_backend("vectorized").embed(source, y, 3)
+        inmem = get_backend("vectorized").embed(source.to_edgelist(), y, 3)
+        np.testing.assert_allclose(chunked.embedding, inmem.embedding,
+                                   atol=CHUNK_ATOL)
+
+    def test_save_chunked_accepts_segmented_source(self, store_path, tmp_path):
+        store = SegmentedEdgeStore.create(store_path, erdos_renyi(15, 40, seed=11))
+        store.append(erdos_renyi(15, 10, seed=12))
+        flat = save_chunked(store.source(chunk_edges=9), tmp_path / "flat")
+        reread = ChunkedEdgeSource.open(flat).to_edgelist()
+        assert reread == store.source().to_edgelist()
+
+
+class TestDynamicGraphWithStore:
+    def test_append_only_commits_append_segments(self, store_path):
+        dyn = DynamicGraph(erdos_renyi(30, 120, seed=13), store=store_path)
+        assert dyn.store.n_segments == 1
+        for i in range(3):
+            dyn.add_edges([i, i + 1], [i + 2, i + 3])
+            dyn.commit()
+        assert dyn.store.n_segments == 4
+        assert dyn.store.source().to_edgelist() == dyn.graph.edges
+
+    def test_structural_commit_rewrites_store(self, store_path):
+        base = erdos_renyi(30, 120, seed=14)
+        dyn = DynamicGraph(base, store=store_path)
+        dyn.add_edges([0], [1])
+        dyn.commit()
+        assert dyn.store.n_segments == 2
+        dyn.remove_edges([base.src[5]], [base.dst[5]])
+        dyn.commit()
+        assert dyn.store.n_segments == 1
+        assert dyn.store.source().to_edgelist() == dyn.graph.edges
+
+    def test_weighted_append_on_unweighted_store_rewrites(self, store_path):
+        dyn = DynamicGraph(erdos_renyi(20, 50, seed=15), store=store_path)
+        dyn.add_edges([0], [1], [3.0])
+        dyn.commit()
+        assert dyn.store.n_segments == 1 and dyn.store.weighted
+        assert dyn.store.source().to_edgelist() == dyn.graph.edges
+
+    def test_chunked_refresh_equals_in_memory(self, store_path):
+        """The satellite's acceptance: chunked refresh == in-memory to 1e-12."""
+        rng = np.random.default_rng(16)
+        base = erdos_renyi(40, 200, weighted=True, seed=16)
+        y = rng.integers(0, 4, size=40)
+        dyn = DynamicGraph(base, store=store_path)
+        inc_mem = IncrementalEmbedding(dyn, y, n_classes=4)
+        inc_ooc = IncrementalEmbedding(dyn, y, n_classes=4, chunk_edges=17)
+        for i in range(3):
+            current = dyn.graph.edges
+            dyn.add_edges(
+                rng.integers(0, 40, size=5),
+                rng.integers(0, 40, size=5),
+                rng.uniform(0.5, 1.5, size=5),
+            )
+            pos = rng.choice(current.n_edges, size=3, replace=False)
+            dyn.remove_edges(current.src[pos], current.dst[pos])
+            dyn.commit()
+            inc_mem.update(force_refresh=True)
+            inc_ooc.update(force_refresh=True)  # streams from the store
+            np.testing.assert_allclose(
+                inc_ooc.embedding, inc_mem.embedding, atol=CHUNK_ATOL
+            )
+        assert inc_ooc.n_refreshes == 4  # initial + one per batch
