@@ -18,6 +18,7 @@ from __future__ import annotations
 import json
 import os
 import platform
+import subprocess
 import sys
 from pathlib import Path
 from typing import Dict, List, Optional
@@ -70,6 +71,37 @@ def load_bench_dataset(name: str):
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
 
+def _git(*args: str) -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", *args],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    return out.stdout.strip() if out.returncode == 0 else None
+
+
+def git_sha() -> Optional[str]:
+    """The repository's current commit SHA, or ``None`` outside a checkout.
+
+    Recorded in every ``BENCH_*.json`` so the cross-PR perf trajectory is
+    attributable to an exact tree state (see also ``git_dirty``: a baseline
+    measured from an uncommitted tree names its parent commit).
+    """
+    sha = _git("rev-parse", "HEAD")
+    return sha or None
+
+
+def git_dirty() -> Optional[bool]:
+    """Whether the working tree differed from ``git_sha()`` at measurement."""
+    status = _git("status", "--porcelain")
+    return None if status is None else bool(status)
+
+
 def bench_entry(
     record,
     *,
@@ -79,12 +111,19 @@ def bench_entry(
     K: int = N_CLASSES,
     n_workers: Optional[int] = None,
     graph: Optional[str] = None,
+    layout: Optional[str] = None,
+    execution_choice=None,
     **extra,
 ) -> Dict:
     """One JSON-able result row from a :class:`~repro.eval.timing.TimingRecord`.
 
     ``per_edge_ns`` is the scale-free "normalised time" the regression gate
     compares: best wall-clock divided by the directed edge count.
+    ``layout`` records the plan memory layout the run executed with, and
+    ``execution_choice`` an :class:`~repro.tune.ExecutionChoice` (or its
+    dict form) for ``backend="auto"`` rows — both make cross-PR comparisons
+    like-for-like (``check_regression.py`` refuses to compare entries whose
+    layouts differ).
     """
     entry: Dict = {
         "label": record.label,
@@ -94,11 +133,18 @@ def bench_entry(
         "E": None if E is None else int(E),
         "K": int(K),
         "n_workers": n_workers,
+        "layout": layout,
         "best_s": record.best,
         "mean_s": record.mean,
         "n_samples": record.n_samples,
         "per_edge_ns": (record.best / E * 1e9) if E else None,
     }
+    if execution_choice is not None:
+        entry["execution_choice"] = (
+            execution_choice.to_dict()
+            if hasattr(execution_choice, "to_dict")
+            else execution_choice
+        )
     entry.update(extra)
     return entry
 
@@ -116,6 +162,8 @@ def write_bench_json(
     payload: Dict = {
         "schema": 1,
         "benchmark": name,
+        "git_sha": git_sha(),
+        "git_dirty": git_dirty(),
         "bench_scale": bench_scale(),
         "bench_scale_multiplier": float(os.environ.get("REPRO_BENCH_SCALE", "1")),
         "n_classes": N_CLASSES,

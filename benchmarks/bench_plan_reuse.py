@@ -20,12 +20,12 @@ import argparse
 import numpy as np
 import pytest
 
-from repro.backends import get_backend
+from repro.backends import backend_capabilities, get_backend
 from repro.eval.timing import time_callable
 
 from bench_config import N_CLASSES, bench_entry, load_bench_dataset, write_bench_json
 
-BACKENDS = ["vectorized", "sparse", "ligra-vectorized", "parallel"]
+BACKENDS = ["vectorized", "sparse", "ligra-vectorized", "parallel", "auto"]
 
 
 @pytest.mark.benchmark(group="plan-reuse")
@@ -72,7 +72,35 @@ def main(argv=None) -> int:
         )
         warm.label = f"{name}/plan"
         speedups[name] = cold.best / warm.best if warm.best > 0 else float("nan")
-        for record, variant in ((cold, "cold"), (warm, "plan")):
+        # Record what actually executed — the auto backend re-plans, so its
+        # layout and ExecutionChoice come from probe results, not the
+        # nominal plan (check_regression's like-for-like filter depends on
+        # the layout field being truthful).  Fixed backends run exactly the
+        # nominal configuration, so only auto pays the two probe embeds.
+        if name == "auto":
+            cold_probe = backend.embed(graph, labels, N_CLASSES)
+            warm_probe = backend.embed_with_plan(plan, labels)
+            measured = [
+                (cold, "cold", cold_probe.layout, cold_probe.execution_choice),
+                (warm, "plan", warm_probe.layout, warm_probe.execution_choice),
+            ]
+        else:
+            measured = [(cold, "cold", "none", None), (warm, "plan", "none", None)]
+        if backend_capabilities(name).supports_layout and name != "auto":
+            # The segment-sum gate: the sorted fused kernel on a cached
+            # layout plan, against the same backend's cold path.
+            sorted_plan = graph.plan(N_CLASSES, layout="sorted")
+            fused = time_callable(
+                lambda: backend.embed_with_plan(sorted_plan, labels),
+                repeats=args.repeats,
+                warmup=1,
+            )
+            fused.label = f"{name}/plan-sorted"
+            speedups[f"{name}:sorted"] = (
+                cold.best / fused.best if fused.best > 0 else float("nan")
+            )
+            measured.append((fused, "plan-sorted", "sorted", None))
+        for record, variant, layout, choice in measured:
             entries.append(
                 bench_entry(
                     record,
@@ -81,6 +109,8 @@ def main(argv=None) -> int:
                     n=graph.n_vertices,
                     E=graph.n_edges,
                     variant=variant,
+                    layout=layout,
+                    execution_choice=choice,
                 )
             )
         print(

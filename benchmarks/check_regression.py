@@ -40,16 +40,31 @@ import sys
 from pathlib import Path
 
 
-def _best_entry(payload: dict, backend: str):
-    """The entry for ``backend`` with the largest edge count (most stable)."""
+def _best_entry(payload: dict, backend: str, layout=None):
+    """The entry for ``backend`` with the largest edge count (most stable).
+
+    ``layout`` filters to one plan memory layout so the gate compares
+    like-for-like (a sorted-layout run is not a regression baseline for an
+    arrival-order run); entries predating the layout field count as
+    ``None`` a.k.a. arrival order.
+    """
     rows = [
         e
         for e in payload.get("entries", [])
         if e.get("backend") == backend and e.get("per_edge_ns")
     ]
+    if layout is not None:
+        wanted = None if layout in ("none", "None") else layout
+        rows = [e for e in rows if _entry_layout(e) == wanted]
     if not rows:
         return None
     return max(rows, key=lambda e: e["E"] or 0)
+
+
+def _entry_layout(entry: dict):
+    """An entry's layout, normalised: missing / "none" → None."""
+    layout = entry.get("layout")
+    return None if layout in (None, "none") else layout
 
 
 def _label_entry(payload: dict, label: str):
@@ -95,6 +110,10 @@ def main(argv=None) -> int:
                         help="freshly-measured BENCH_*.json")
     parser.add_argument("--backend", default="vectorized",
                         help="backend whose normalised time is gated")
+    parser.add_argument("--layout", default=None,
+                        help="restrict the baseline/current comparison to one "
+                             "plan layout (default: compare whatever layout "
+                             "the baseline's best entry ran with)")
     parser.add_argument("--factor", type=float, default=1.5,
                         help="fail when current/baseline per-edge time exceeds this")
     parser.add_argument("--speedup", metavar="FAST:SLOW",
@@ -116,8 +135,15 @@ def main(argv=None) -> int:
 
     baseline = json.loads(args.baseline.read_text())
 
-    base_entry = _best_entry(baseline, args.backend)
-    cur_entry = _best_entry(current, args.backend)
+    base_entry = _best_entry(baseline, args.backend, args.layout)
+    # Like-for-like layouts: whatever layout the baseline's best entry ran
+    # with (arrival order for pre-layout files) is what the current file is
+    # filtered to — a sorted-layout speed-up must never mask (or fake) a
+    # regression of the arrival-order path, and vice versa.
+    cur_layout = args.layout if args.layout is not None else (
+        _entry_layout(base_entry) or "none"
+    ) if base_entry is not None else None
+    cur_entry = _best_entry(current, args.backend, cur_layout)
     if base_entry is None or cur_entry is None:
         print(
             f"check_regression: no '{args.backend}' entries with edge counts in "
@@ -126,8 +152,10 @@ def main(argv=None) -> int:
         return 0
 
     ratio = cur_entry["per_edge_ns"] / base_entry["per_edge_ns"]
+    layout_note = _entry_layout(base_entry) or "none"
     print(
-        f"backend={args.backend}: baseline {base_entry['per_edge_ns']:.2f} ns/edge "
+        f"backend={args.backend} layout={layout_note}: "
+        f"baseline {base_entry['per_edge_ns']:.2f} ns/edge "
         f"on {base_entry['graph']} (E={base_entry['E']}), current "
         f"{cur_entry['per_edge_ns']:.2f} ns/edge on {cur_entry['graph']} "
         f"(E={cur_entry['E']}) -> ratio {ratio:.2f}x (limit {args.factor}x)"

@@ -39,7 +39,7 @@ from .graph import ChunkedEdgeSource, CSRGraph, EdgeList, Graph, as_graph
 from .ligra import LigraEngine, VertexSubset
 from .stream import DynamicGraph, IncrementalEmbedding, MutationLog, SegmentedEdgeStore
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "GraphEncoderEmbedding",

@@ -26,8 +26,9 @@ from .registry import (
     resolve_backend_name,
 )
 
-# Importing the module registers the built-in backends.
+# Importing the modules registers the built-in backends.
 from . import gee as _gee_backends  # noqa: F401  (import for side effects)
+from .auto import AutoGEEBackend
 from .gee import (
     LigraProcessesGEEBackend,
     LigraSerialGEEBackend,
@@ -39,6 +40,7 @@ from .gee import (
 )
 
 __all__ = [
+    "AutoGEEBackend",
     "BackendCapabilities",
     "GEEBackend",
     "register_backend",

@@ -1,0 +1,174 @@
+"""The ``"auto"`` backend: cost-model-driven execution strategy selection.
+
+Every other registry backend *is* an execution strategy; this one *picks*
+one.  Per call it asks the calibrated :class:`~repro.tune.CostModel` for
+the predicted-fastest ``(backend, layout, workers)`` for the graph's
+``(n, E, K)`` on this machine, delegates to that backend (re-planning with
+the chosen layout when the graph facade is available — layout plans are
+cached per layout, so repeated calls pay compilation once), and logs the
+full :class:`~repro.tune.ExecutionChoice` on the result
+(``result.execution_choice``).
+
+All candidate strategies compute the identical embedding, so a wrong
+prediction costs speed, never correctness; a missing/stale calibration
+cache degrades to default coefficients with a one-time warning (see
+:mod:`repro.tune`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..graph.facade import Graph
+from .registry import BackendCapabilities, GEEBackend, get_backend, register_backend
+
+__all__ = ["AutoGEEBackend"]
+
+
+@register_backend(
+    "auto",
+    capabilities=BackendCapabilities(
+        supports_n_workers=True,
+        parallel=True,
+        deterministic=True,
+        supports_chunked=True,
+        supports_incremental=True,
+        supports_layout=True,
+        description="calibrated cost model picks backend, layout and workers per call",
+    ),
+)
+class AutoGEEBackend(GEEBackend):
+    """Adaptive execution: delegate each embed to the predicted-fastest backend.
+
+    ``n_workers`` caps how many workers the model may plan for (default:
+    the machine's CPU count).  Capabilities are the union of the candidate
+    set — every candidate is deterministic, weight-capable, and the
+    chunked/incremental protocols route to chunk-/patch-capable delegates.
+    """
+
+    def __init__(self, *, n_workers: Optional[int] = None, **options) -> None:
+        super().__init__(n_workers=n_workers, **options)
+        self._delegates: Dict[Tuple[str, Optional[int]], GEEBackend] = {}
+
+    # ------------------------------------------------------------------ #
+    # Model plumbing
+    # ------------------------------------------------------------------ #
+    def _choose(self, n: int, e: int, k: int, *, weighted: bool, chunked: bool = False,
+                chunk_edges: Optional[int] = None, fixed_layout: Optional[str] = None):
+        from ..tune import get_cost_model
+
+        return get_cost_model().choose(
+            n,
+            e,
+            k,
+            weighted=weighted,
+            n_workers_available=self.n_workers,
+            chunked=chunked,
+            chunk_edges=chunk_edges,
+            fixed_layout=fixed_layout,
+        )
+
+    def _delegate(self, choice) -> GEEBackend:
+        key = (choice.backend, choice.n_workers)
+        backend = self._delegates.get(key)
+        if backend is None:
+            backend = get_backend(choice.backend, n_workers=choice.n_workers)
+            self._delegates[key] = backend
+        return backend
+
+    @staticmethod
+    def _resolve_k(labels: np.ndarray, n_classes: Optional[int]) -> int:
+        if n_classes is not None:
+            return int(n_classes)
+        from ..core.validation import infer_n_classes
+
+        k = infer_n_classes(labels)
+        if k <= 0:
+            raise ValueError(
+                "could not infer a positive number of classes; provide "
+                "n_classes or at least one labelled vertex"
+            )
+        return k
+
+    # ------------------------------------------------------------------ #
+    # Embedding protocol
+    # ------------------------------------------------------------------ #
+    def _embed(self, graph: Graph, labels: np.ndarray, n_classes: Optional[int]):
+        k = self._resolve_k(labels, n_classes)
+        choice = self._choose(
+            graph.n_vertices, graph.n_edges, k, weighted=graph.is_weighted
+        )
+        # Always route through the compiled plan (cached on the facade):
+        # the cost model's coefficients were fitted on the warm plan path,
+        # and repeated auto embeds on one graph must not re-pay validation
+        # or index compilation.
+        plan = graph.plan(k, layout=choice.layout if choice.layout != "none" else None)
+        result = self._delegate(choice).embed_with_plan(plan, labels)
+        result.execution_choice = choice
+        return result
+
+    def _embed_with_plan(self, plan, labels: np.ndarray):
+        # A non-default plan layout was requested explicitly (the estimator's
+        # layout= knob, or a hand-compiled layout plan): honour it and let
+        # the model pick only among backends executing that layout.  The
+        # default "none" plan leaves the layout free.
+        fixed = plan.layout if plan.layout != "none" else None
+        choice = self._choose(
+            plan.n_vertices,
+            plan.n_edges,
+            plan.n_classes,
+            # The facade property is O(1) for edge-list graphs; asking the
+            # plan (`not plan.unit_weights`) would force edge validation at
+            # choose time.
+            weighted=plan.graph.is_weighted,
+            fixed_layout=fixed,
+        )
+        target = plan
+        if choice.layout != plan.layout:
+            # Layout plans are cached per (K, layout) on the graph facade,
+            # so switching is a one-time compile, not a per-call cost.
+            target = plan.graph.plan(plan.n_classes, layout=choice.layout)
+        result = self._delegate(choice).embed_with_plan(target, labels)
+        result.execution_choice = choice
+        return result
+
+    def _embed_with_chunked_plan(self, plan, labels: np.ndarray):
+        # Standalone sources (no facade) cannot be re-laid-out, and an
+        # explicit "sorted" incidence plan must be honoured — in both cases
+        # the model may only choose among backends that execute the plan's
+        # actual layout, so the recorded choice is always what ran.
+        if plan.graph is None or plan.layout != "none":
+            fixed = plan.layout
+        else:
+            fixed = None
+        choice = self._choose(
+            plan.n_vertices,
+            plan.n_edges,
+            plan.n_classes,
+            weighted=plan.source.is_weighted,
+            chunked=True,
+            chunk_edges=plan.chunk_edges,
+            fixed_layout=fixed,
+        )
+        target = plan
+        if choice.layout != plan.layout:
+            target = plan.graph.plan(
+                plan.n_classes, chunk_edges=plan.chunk_edges, layout=choice.layout
+            )
+        result = self._delegate(choice).embed_with_plan(target, labels)
+        result.execution_choice = choice
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Incremental protocol
+    # ------------------------------------------------------------------ #
+    def _patch_sums(self, S_flat, src, dst, delta_w, labels, n_classes):
+        from ..core.gee_parallel import patch_sums_parallel
+
+        # patch_sums_parallel already self-tunes: tiny deltas run the
+        # vectorised kernel in-process, large ones thread the gather half.
+        patch_sums_parallel(
+            S_flat, src, dst, delta_w, labels, n_classes, n_workers=self.n_workers
+        )

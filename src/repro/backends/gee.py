@@ -90,6 +90,7 @@ class PythonLoopBackend(GEEBackend):
     capabilities=BackendCapabilities(
         supports_chunked=True,
         supports_incremental=True,
+        supports_layout=True,
         description="single-core NumPy scatter-add edge pass (compiled-serial stand-in)",
     ),
 )
@@ -111,7 +112,13 @@ class VectorizedGEEBackend(GEEBackend):
             # Chunked runs exist to bound temporary-array size; the plan's
             # precompiled full-length index components defeat that, so
             # re-plan the graph chunked (cached per chunk size) and stream.
-            chunked = plan.graph.plan(plan.n_classes, chunk_edges=self.chunk_edges)
+            # A requested layout carries over (chunked plans stream sorted
+            # incidence blocks; the in-memory "blocked" bucketing has no
+            # chunked counterpart and falls back to sorted).
+            layout = None if plan.layout == "none" else "sorted"
+            chunked = plan.graph.plan(
+                plan.n_classes, chunk_edges=self.chunk_edges, layout=layout
+            )
             return gee_vectorized_chunked(chunked, labels)
         return gee_vectorized_with_plan(plan, labels)
 
@@ -236,6 +243,7 @@ class LigraProcessesGEEBackend(_LigraGEEBackend):
         deterministic=True,
         supports_chunked=True,
         supports_incremental=True,
+        supports_layout=True,
         description="owner-computes row partition over a persistent fork pool",
     ),
 )

@@ -73,6 +73,12 @@ class BackendCapabilities:
         under signed edge deltas — the engine room of the dynamic-graph
         subsystem (:class:`repro.stream.IncrementalEmbedding`).  Backends
         without it reject patch requests instead of silently re-embedding.
+    supports_layout:
+        Whether the backend executes the locality-optimized fused kernels
+        of plans compiled with ``graph.plan(K, layout="sorted"|"blocked")``
+        (see :class:`~repro.core.plan.FusedLayout`).  Backends without the
+        capability still accept layout plans but run their classic
+        arrival-order kernels over the plan's unpermuted edge arrays.
     description:
         One-line human-readable summary shown by discovery helpers.
     """
@@ -83,6 +89,7 @@ class BackendCapabilities:
     deterministic: bool = True
     supports_chunked: bool = False
     supports_incremental: bool = False
+    supports_layout: bool = False
     description: str = ""
 
 

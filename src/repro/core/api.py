@@ -58,6 +58,7 @@ from .result import EmbeddingResult
 from .validation import (
     UNKNOWN_LABEL,
     class_counts,
+    inverse_class_counts,
     validate_labels,
 )
 from .projection import projection_from_scales, projection_scales
@@ -119,6 +120,15 @@ class GraphEncoderEmbedding:
     normalize:
         Row-normalise the embedding exposed via :attr:`embedding_` (and the
         rows returned by :meth:`transform`).
+    layout:
+        Memory layout for the compiled embed plan: ``None`` (the default —
+        layout-preserving, byte-identical to historical behaviour),
+        ``"sorted"`` / ``"blocked"`` (locality-optimized fused kernels on
+        ``supports_layout`` backends), or ``"auto"`` (the calibrated cost
+        model picks; see :mod:`repro.tune`).  With ``method="auto"``, the
+        default ``None`` leaves the layout to the cost model, while an
+        explicit ``"sorted"``/``"blocked"`` pins it (auto then picks only
+        among backends executing that layout).
     **backend_options:
         Extra options forwarded to the backend constructor (for example
         ``chunk_edges`` for ``"vectorized"`` or ``atomic`` for the Ligra
@@ -143,6 +153,7 @@ class GraphEncoderEmbedding:
         laplacian: bool = False,
         n_workers: Optional[int] = None,
         normalize: bool = False,
+        layout: Optional[str] = None,
         **backend_options,
     ) -> None:
         if isinstance(method, GEEBackend):
@@ -167,6 +178,7 @@ class GraphEncoderEmbedding:
         self.laplacian = laplacian
         self.n_workers = n_workers
         self.normalize = normalize
+        self.layout = layout
         # Fitted state
         self.result_: Optional[EmbeddingResult] = None
         self.labels_: Optional[np.ndarray] = None
@@ -222,6 +234,13 @@ class GraphEncoderEmbedding:
                     "laplacian=True is not supported with a ChunkedEdgeSource: "
                     "the reweighting needs a degree pass over the whole graph"
                 )
+            if self.layout in ("sorted", "blocked"):
+                raise ValueError(
+                    f"layout={self.layout!r} is not available for a standalone "
+                    "ChunkedEdgeSource (it streams in stored order and may be "
+                    "larger than RAM, so it cannot be re-permuted); pass an "
+                    "in-memory graph, or drop the layout request"
+                )
             source = graph
             if chunk_edges is not None or memory_budget_bytes is not None:
                 source = source.reblocked(
@@ -237,8 +256,17 @@ class GraphEncoderEmbedding:
                 raise ValueError("GEE requires at least one vertex")
             work = g.laplacian if self.laplacian else g
             y, k = validate_labels(labels, g.n_vertices, self.n_classes)
+            layout = self.layout
+            if layout == "auto" and not type(self._backend).capabilities.supports_layout:
+                # "Pick for me" must resolve to a layout this backend can
+                # execute; backends without the fused kernels run their
+                # classic arrival-order paths.
+                layout = None
             plan = work.plan(
-                k, chunk_edges=chunk_edges, memory_budget_bytes=memory_budget_bytes
+                k,
+                chunk_edges=chunk_edges,
+                memory_budget_bytes=memory_budget_bytes,
+                layout=layout,
             )
             result = self._backend.embed_with_plan(plan, y)
         # Detach: plan-based embeddings view the plan's reused output
@@ -429,7 +457,7 @@ class GraphEncoderEmbedding:
         assert self._stream_labels_ is not None and self._stream_sums_ is not None
         k = int(self.n_classes)  # type: ignore[arg-type]
         counts = class_counts(self._stream_labels_, k).astype(np.float64)
-        inv = np.where(counts > 0, 1.0 / np.maximum(counts, 1.0), 0.0)
+        inv = inverse_class_counts(counts)
         Z = self._stream_sums_ * inv[None, :]
         scales = projection_scales(self._stream_labels_, k)
         W = projection_from_scales(self._stream_labels_, scales, k)

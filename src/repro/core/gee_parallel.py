@@ -191,22 +191,41 @@ def owner_rows_accumulate(
 #: Worker-process cache of shared-memory attachments, keyed by segment name.
 #: Re-mapping (and therefore re-faulting) hundreds of megabytes of adjacency
 #: on every task would dominate the runtime in this sandbox, so each worker
-#: attaches a given segment once and keeps the mapping for its lifetime.
+#: attaches a given segment once and keeps the mapping warm; the cache is
+#: LRU-bounded so segments of evicted plans/graphs (whose parent-side
+#: finalizers already unlinked them) don't pin O(E) pages per plan forever.
 _WORKER_ATTACHMENTS: Dict[str, tuple] = {}
+
+#: Mappings kept per worker.  Generous relative to one call's segment count
+#: (~10), tight enough that a K-sweep over many layout plans cannot grow a
+#: worker's RSS without bound.
+_MAX_WORKER_ATTACHMENTS = 32
 
 
 def _attach_cached(handles: Dict[str, SharedArrayHandle]) -> Dict[str, np.ndarray]:
-    """Attach to every handle, reusing mappings cached in this process."""
+    """Attach to every handle, reusing LRU-bounded mappings in this process."""
     from ..parallel.shm import attach
 
     views: Dict[str, np.ndarray] = {}
     for name, handle in handles.items():
-        cached = _WORKER_ATTACHMENTS.get(handle.shm_name)
+        cached = _WORKER_ATTACHMENTS.pop(handle.shm_name, None)
         if cached is None:
             view, seg = attach(handle)
-            _WORKER_ATTACHMENTS[handle.shm_name] = (view, seg)
             cached = (view, seg)
+        # Re-insert at the end: plain dicts preserve insertion order, so
+        # the front of the dict is always the least-recently-used mapping.
+        _WORKER_ATTACHMENTS[handle.shm_name] = cached
         views[name] = cached[0]
+    while len(_WORKER_ATTACHMENTS) > _MAX_WORKER_ATTACHMENTS:
+        stale_name = next(iter(_WORKER_ATTACHMENTS))
+        if stale_name in {h.shm_name for h in handles.values()}:
+            break  # everything older is part of the current task
+        view, seg = _WORKER_ATTACHMENTS.pop(stale_name)
+        del view  # release the exported buffer before closing the mapping
+        try:
+            seg.close()
+        except BufferError:  # pragma: no cover - defensive
+            pass
     return views
 
 
@@ -275,6 +294,9 @@ def shutdown_workers() -> None:
     for entry in list(_GRAPH_CACHE.values()):
         entry.close()
     _GRAPH_CACHE.clear()
+    for entry in list(_FUSED_CACHE.values()):
+        entry.close()
+    _FUSED_CACHE.clear()
     if _WORKSPACE is not None:
         _WORKSPACE.close()
         _WORKSPACE = None
@@ -318,6 +340,84 @@ def evict_shared_graph(csr: CSRGraph) -> None:
         stale.close()
 
 
+class _SharedFused:
+    """Shared-memory copy of one plan's fused-layout incidence arrays."""
+
+    def __init__(self, fused) -> None:
+        self.shm = SharedArraySet()
+        self.shm.share("f_owner_flat", fused.owner_flat)
+        self.shm.share("f_partner", fused.partner)
+        if fused.weights is not None:
+            self.shm.share("f_weights", fused.weights)
+        self.handles = self.shm.handles()
+
+    def close(self) -> None:
+        self.shm.close()
+
+
+#: Cache of shared-memory fused layouts keyed by id() of the FusedLayout;
+#: entries drop automatically when the layout is garbage collected (the
+#: layout lives on its EmbedPlan, which the Graph's plan cache owns).
+_FUSED_CACHE: Dict[int, _SharedFused] = {}
+
+
+def _shared_fused_for(fused) -> _SharedFused:
+    key = id(fused)
+    cached = _FUSED_CACHE.get(key)
+    if cached is not None:
+        return cached
+    entry = _SharedFused(fused)
+    _FUSED_CACHE[key] = entry
+
+    def _evict(_ref, key=key) -> None:
+        stale = _FUSED_CACHE.pop(key, None)
+        if stale is not None:
+            stale.close()
+
+    weakref.finalize(fused, _evict, None)
+    return entry
+
+
+def _fused_pool_task(
+    _context: dict,
+    handles: Dict[str, SharedArrayHandle],
+    row_lo: int,
+    row_hi: int,
+    n_classes: int,
+    rows_per_block: int,
+    fully_labelled: bool,
+) -> None:
+    """Worker task for the fused (sorted-layout) path: fill owned rows.
+
+    Locates its row range in the shared sorted incidence arrays with two
+    binary searches, runs the block-local segment sums into its slice of
+    the shared ``Z``, and applies the per-column ``1/n_c`` rescale (written
+    once by the parent into the shared ``inv`` vector) to its own rows — no
+    two tasks ever write the same row, and the O(nK) rescale multiply runs
+    inside the row partition instead of serially in the parent.
+    """
+    from .gee_vectorized import accumulate_fused_rows_sorted
+
+    views = _attach_cached(handles)
+    labels = views["labels"]
+    owner_flat = views["f_owner_flat"]
+    y_idx = labels.astype(owner_flat.dtype, copy=False)
+    Z = views["Z"]
+    accumulate_fused_rows_sorted(
+        Z.reshape(-1),
+        owner_flat,
+        views["f_partner"],
+        views.get("f_weights"),
+        y_idx,
+        n_classes,
+        rows_per_block,
+        row_lo,
+        row_hi,
+        fully_labelled=fully_labelled,
+    )
+    Z[row_lo:row_hi] *= views["inv"][None, :]
+
+
 class _Workspace:
     """Reusable per-call shared buffers (labels, scales, embedding output).
 
@@ -331,6 +431,9 @@ class _Workspace:
         self.shm = SharedArraySet()
         self.labels = self.shm.empty("labels", (n,), np.int64)
         self.scales = self.shm.empty("scales", (n,), np.float64)
+        #: Per-column ``1/n_c`` rescale vector for the fused path (written
+        #: once per call by the parent; workers multiply their row slices).
+        self.inv = self.shm.empty("inv", (k,), np.float64)
         self.Z = self.shm.empty("Z", (n, k), np.float64)
         self.handles = self.shm.handles()
 
@@ -367,12 +470,9 @@ def _shared_graph_for(csr: CSRGraph) -> _SharedGraph:
     return entry
 
 
-def _balanced_row_ranges(
-    out_indptr: np.ndarray, in_indptr: np.ndarray, n_parts: int
-) -> list:
-    """Split vertices into ranges with near-equal total (in+out) edge work."""
-    n = out_indptr.size - 1
-    work = out_indptr[1:] - out_indptr[:-1] + in_indptr[1:] - in_indptr[:-1]
+def balanced_ranges_from_work(work: np.ndarray, n_parts: int) -> list:
+    """Split ``len(work)`` rows into ranges with near-equal total work."""
+    n = work.size
     cum = np.concatenate([[0], np.cumsum(work)])
     total = cum[-1]
     if total == 0:
@@ -382,6 +482,14 @@ def _balanced_row_ranges(
     cuts[0], cuts[-1] = 0, n
     cuts = np.maximum.accumulate(np.clip(cuts, 0, n))
     return [(int(cuts[i]), int(cuts[i + 1])) for i in range(n_parts)]
+
+
+def _balanced_row_ranges(
+    out_indptr: np.ndarray, in_indptr: np.ndarray, n_parts: int
+) -> list:
+    """Split vertices into ranges with near-equal total (in+out) edge work."""
+    work = out_indptr[1:] - out_indptr[:-1] + in_indptr[1:] - in_indptr[:-1]
+    return balanced_ranges_from_work(work, n_parts)
 
 
 def gee_parallel(
@@ -568,7 +676,9 @@ def _chunked_pool_task(
                 source_token["n_vertices"],
                 chunk_edges=source_token["chunk_edges"],
             )
-        plan = ChunkedPlan(source, n_classes)
+        plan = ChunkedPlan(
+            source, n_classes, layout=source_token.get("layout", "none")
+        )
         accumulate_chunked_plan(
             views["partials"][slot],
             plan,
@@ -629,6 +739,7 @@ def gee_parallel_chunked(
     t1 = time.perf_counter()
     timings["projection"] = t1 - t0
 
+    layout = getattr(plan, "layout", "none")
     source = plan.source
     n_chunks = source.n_chunks
     if requested == 1 or not fork_available() or n_chunks <= 1:
@@ -636,6 +747,10 @@ def gee_parallel_chunked(
         accumulate_chunked_plan(Z_flat, plan, y, scales)
         workers = 1
         Z = Z_flat.reshape(n, k)
+        if layout == "sorted":
+            from .gee_vectorized import class_rescale
+
+            class_rescale(Z, y, k)
         t2 = time.perf_counter()
         timings["edge_pass"] = t2 - t1
     else:
@@ -654,6 +769,7 @@ def gee_parallel_chunked(
                     "kind": "file",
                     "path": str(source.path),
                     "chunk_edges": source.chunk_edges,
+                    "layout": layout,
                 }
             else:
                 shm.share("e_src", np.asarray(source.src, dtype=np.int64))
@@ -666,6 +782,7 @@ def gee_parallel_chunked(
                     "kind": "shm",
                     "n_vertices": n,
                     "chunk_edges": source.chunk_edges,
+                    "layout": layout,
                 }
             handles = shm.handles()
             timings["preprocess"] = time.perf_counter() - t_share
@@ -680,6 +797,10 @@ def gee_parallel_chunked(
             Z_flat = plan.zeroed_output()
             np.sum(partials, axis=0, out=Z_flat)
             Z = Z_flat.reshape(n, k)
+            if layout == "sorted":
+                from .gee_vectorized import class_rescale
+
+                class_rescale(Z, y, k)
             t2 = time.perf_counter()
             timings["edge_pass"] = t2 - t_edge
         finally:
@@ -693,6 +814,97 @@ def gee_parallel_chunked(
         method="gee-parallel",
         n_workers=workers,
         buffer_view=True,
+        layout=layout,
+    )
+
+
+def _gee_parallel_fused(
+    plan,
+    labels: np.ndarray,
+    *,
+    n_workers: Optional[int] = None,
+) -> EmbeddingResult:
+    """Owner-computes parallel GEE over a plan's *sorted* fused layout.
+
+    Same owner-computes guarantees as the classic path (every row
+    single-writer, deterministic, no atomics), but the workers read the
+    plan's sorted incidence arrays instead of CSR/CSC adjacency: each
+    locates its degree-balanced row range with two binary searches and runs
+    the block-local segment-sum kernel into its slice of the shared output,
+    then rescales its own rows by ``diag(1/n_c)``.  Only the label vector
+    travels per call; the incidence arrays ship through shared memory once
+    per plan.
+    """
+    from .gee_vectorized import accumulate_fused, class_rescale
+
+    y = plan.validate_labels(labels)
+    k = plan.n_classes
+    n = plan.n_vertices
+    timings: Dict[str, float] = {}
+
+    t_pre = time.perf_counter()
+    fused = plan.fused  # compiled once, cached on the plan
+    timings["preprocess"] = time.perf_counter() - t_pre
+
+    explicit = n_workers is not None and int(n_workers) > 0
+    requested = resolve_worker_count(n_workers)
+    if explicit and requested > 1 and not fork_available():
+        raise RuntimeError(
+            f"gee_parallel: n_workers={requested} requested but the 'fork' start "
+            "method is unavailable on this platform; pass n_workers=1 (or None "
+            "for the automatic fallback)"
+        )
+
+    t0 = time.perf_counter()
+    fully = bool(y.size) and int(y.min()) != UNKNOWN_LABEL
+    y_idx = y.astype(fused.index_dtype, copy=False)
+    t1 = time.perf_counter()
+    timings["projection"] = t1 - t0
+
+    if requested == 1 or not fork_available() or plan.n_edges == 0:
+        t_edge = time.perf_counter()
+        Z = plan.output_matrix()
+        accumulate_fused(Z.reshape(-1), fused, y_idx, fully_labelled=fully)
+        class_rescale(Z, y, k)
+        workers = 1
+    else:
+        from .validation import class_counts, inverse_class_counts
+
+        ranges = plan.fused_row_ranges(requested)
+        t_share = time.perf_counter()
+        shared_fused = _shared_fused_for(fused)
+        pool = _get_pool(requested)
+        workspace = _workspace_for(n, k)
+        workspace.labels[:] = y
+        workspace.inv[:] = inverse_class_counts(class_counts(y, k))
+        handles = dict(shared_fused.handles)
+        handles.update(workspace.handles)
+        timings["preprocess"] += time.perf_counter() - t_share
+        t_edge = time.perf_counter()
+        pool.map(
+            _fused_pool_task,
+            [
+                (handles, row_lo, row_hi, k, fused.rows_per_block, fully)
+                for row_lo, row_hi in ranges
+            ],
+        )
+        Z = plan.output_matrix()
+        np.copyto(Z, workspace.Z)
+        workers = requested
+    t2 = time.perf_counter()
+    timings["edge_pass"] = t2 - t_edge
+    timings["total"] = t2 - t0
+
+    return EmbeddingResult(
+        embedding=Z,
+        projection_builder=lambda: projection_from_scales(
+            y, projection_scales(y, k), k
+        ),
+        timings=timings,
+        method="gee-parallel",
+        n_workers=workers,
+        buffer_view=True,
+        layout=fused.layout,
     )
 
 
@@ -710,7 +922,32 @@ def gee_parallel_with_plan(
     row partition is cached on the plan per worker count (worker sweeps
     partition once per count).  The returned embedding is a view of the
     plan's reused output buffer.
+
+    Layout plans route to the fused segment-sum kernels: ``"sorted"``
+    supports the full owner-computes worker partition
+    (:func:`_gee_parallel_fused`); ``"blocked"`` buckets cannot be split by
+    row range, so it runs the serial fused kernel in-process.
     """
+    if plan.layout == "sorted":
+        return _gee_parallel_fused(plan, labels, n_workers=n_workers)
+    if plan.layout == "blocked":
+        # Blocked buckets keep arrival order inside each block, so they
+        # cannot be split into single-writer row ranges; the kernel is
+        # inherently serial.  An explicit multi-worker request is therefore
+        # unsatisfiable and raises (same contract as every other
+        # impossible explicit n_workers), instead of silently degrading.
+        if n_workers is not None and int(n_workers) > 1:
+            raise RuntimeError(
+                f"gee_parallel: n_workers={int(n_workers)} requested but a "
+                'layout="blocked" plan runs the serial fused kernel (its '
+                "buckets cannot be row-partitioned); use layout=\"sorted\" "
+                "for the parallel fused path, or drop n_workers"
+            )
+        from .gee_vectorized import gee_fused_with_plan
+
+        result = gee_fused_with_plan(plan, labels)
+        result.method = "gee-parallel"
+        return result
     y = plan.validate_labels(labels)
     k = plan.n_classes
     n = plan.n_vertices

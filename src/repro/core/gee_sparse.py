@@ -134,6 +134,14 @@ def gee_sparse_chunked(plan, labels: np.ndarray) -> EmbeddingResult:
     """
     import scipy.sparse as sp
 
+    if getattr(plan, "layout", "none") != "none":
+        raise ValueError(
+            "the sparse backend cannot execute a sorted-incidence chunked "
+            "plan (its blocks hold each edge twice, once per orientation, "
+            "which the two-sided A + A^T update would double-count); "
+            "re-plan with the default layout, or use a layout-capable "
+            "chunked backend (vectorized, parallel)"
+        )
     y = plan.validate_labels(labels)
     k = plan.n_classes
     n = plan.n_vertices

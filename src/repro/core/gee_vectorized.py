@@ -33,8 +33,12 @@ __all__ = [
     "gee_vectorized",
     "gee_vectorized_with_plan",
     "gee_vectorized_chunked",
+    "gee_fused_with_plan",
     "accumulate_edges_vectorized",
     "accumulate_chunked_plan",
+    "accumulate_fused",
+    "accumulate_fused_rows_sorted",
+    "class_rescale",
     "patch_sums_vectorized",
     "scatter_add",
 ]
@@ -125,6 +129,189 @@ def patch_sums_vectorized(
     n = S_flat.size // int(n_classes)
     unit = np.ones(n, dtype=np.float64)
     accumulate_edges_vectorized(S_flat, src, dst, delta_w, labels, unit, n_classes)
+
+
+# --------------------------------------------------------------------------- #
+# Locality-optimized segment-sum kernels (FusedLayout consumers)
+# --------------------------------------------------------------------------- #
+def _block_scatter(
+    out_flat: np.ndarray,
+    flat: np.ndarray,
+    weights: Optional[np.ndarray],
+    flat_bounds: np.ndarray,
+    cuts: np.ndarray,
+    accumulate: bool,
+) -> None:
+    """Scatter ``flat``/``weights`` into ``out_flat`` one row block at a time.
+
+    ``flat_bounds[i]:flat_bounds[i+1]`` is block ``i``'s output slice (sized
+    to stay L2-resident) and ``cuts[i]:cuts[i+1]`` its incidence slice; each
+    block runs one *local* ``np.bincount`` whose output is block-sized, so
+    the scatter never allocates an ``(n*K,)`` temporary and its writes stay
+    inside the cache-resident slice.  ``accumulate=False`` assigns the block
+    sums into ``out_flat`` directly (zeroing empty blocks), which also skips
+    the full-output zero-fill and read-modify-write passes a global
+    ``out += bincount(...)`` would cost.
+    """
+    for i in range(len(cuts) - 1):
+        lo, hi = int(cuts[i]), int(cuts[i + 1])
+        base, top = int(flat_bounds[i]), int(flat_bounds[i + 1])
+        if lo == hi:
+            if not accumulate:
+                out_flat[base:top] = 0.0
+            continue
+        block = np.bincount(
+            flat[lo:hi] - base,
+            weights=None if weights is None else weights[lo:hi],
+            minlength=top - base,
+        )
+        if accumulate:
+            out_flat[base:top] += block
+        else:
+            out_flat[base:top] = block
+
+
+def accumulate_fused(
+    out_flat: np.ndarray,
+    fused,
+    y_idx: np.ndarray,
+    *,
+    fully_labelled: bool,
+    accumulate: bool = False,
+) -> None:
+    """Raw per-class sums of a :class:`~repro.core.plan.FusedLayout`, in place.
+
+    One pass over the ``2E`` permuted incidences: gather ``Y[partner]``, add
+    it to the precompiled ``owner*K`` flat components and run the block-local
+    segment sums (:func:`_block_scatter`).  The per-edge projection scale is
+    *not* applied here — the caller rescales columns once afterwards
+    (:func:`class_rescale`), which is exact because ``scale[v]`` depends only
+    on ``Y[v]``, the very column the contribution lands in.
+
+    ``y_idx`` must already be cast to ``fused.index_dtype`` so the flat-index
+    arithmetic stays in the narrowed dtype.  Unknown labels are dropped by
+    compaction (sorted layout — the compacted flats stay monotone) or by
+    zero-weighting (blocked layout — compaction would break the bucket
+    boundaries).
+    """
+    if fused.n_incidences == 0:
+        if not accumulate:
+            out_flat.fill(0.0)
+        return
+    yp = y_idx[fused.partner]
+    w2 = fused.weights
+    if fully_labelled:
+        flat = fused.owner_flat + yp
+        wts = w2
+        cuts = fused.edge_cuts
+    elif fused.layout == "sorted":
+        known = yp != UNKNOWN_LABEL
+        flat = fused.owner_flat[known] + yp[known]
+        wts = None if w2 is None else w2[known]
+        cuts = np.searchsorted(flat, fused.flat_cuts)
+    else:
+        known = yp != UNKNOWN_LABEL
+        wts = known.astype(np.float64) if w2 is None else w2 * known
+        flat = fused.owner_flat + np.maximum(yp, 0)
+        cuts = fused.edge_cuts
+    _block_scatter(out_flat, flat, wts, fused.flat_cuts, cuts, accumulate)
+
+
+def accumulate_fused_rows_sorted(
+    out_flat: np.ndarray,
+    owner_flat: np.ndarray,
+    partner: np.ndarray,
+    weights: Optional[np.ndarray],
+    y_idx: np.ndarray,
+    n_classes: int,
+    rows_per_block: int,
+    row_lo: int,
+    row_hi: int,
+    *,
+    fully_labelled: bool,
+) -> None:
+    """Raw sums for rows ``row_lo:row_hi`` of a *sorted* fused layout.
+
+    The owner-computes variant behind the fused parallel path: the sorted
+    incidence arrays locate any row range with two binary searches, so each
+    worker processes exactly the incidences owned by its rows and writes
+    only its slice of ``out_flat`` — no atomics, no reduction.  Works on raw
+    arrays (shared-memory views included) rather than a
+    :class:`FusedLayout` object.
+    """
+    k = int(n_classes)
+    if row_hi <= row_lo:
+        return
+    lo = int(np.searchsorted(owner_flat, row_lo * k))
+    hi = int(np.searchsorted(owner_flat, row_hi * k))
+    row_bounds = np.arange(row_lo, row_hi, int(rows_per_block), dtype=np.int64)
+    row_bounds = np.append(row_bounds, row_hi)
+    flat_bounds = row_bounds * k
+    of = owner_flat[lo:hi]
+    yp = y_idx[partner[lo:hi]]
+    w2 = None if weights is None else weights[lo:hi]
+    if fully_labelled:
+        flat = of + yp
+        wts = w2
+    else:
+        known = yp != UNKNOWN_LABEL
+        flat = of[known] + yp[known]
+        wts = None if w2 is None else w2[known]
+    cuts = np.searchsorted(flat, flat_bounds)
+    _block_scatter(out_flat, flat, wts, flat_bounds, cuts, accumulate=False)
+
+
+def class_rescale(Z: np.ndarray, labels: np.ndarray, n_classes: int) -> np.ndarray:
+    """Apply ``Z = S · diag(1/n_c)`` in place; returns the inverse counts.
+
+    The column-wise counterpart of the per-vertex projection scales: column
+    ``c`` of the raw sums is divided by the size of class ``c`` (columns of
+    empty classes receive no contributions and stay zero).
+    """
+    from .validation import class_counts, inverse_class_counts
+
+    inv = inverse_class_counts(class_counts(labels, n_classes))
+    Z *= inv[None, :]
+    return inv
+
+
+def gee_fused_with_plan(plan, labels: np.ndarray) -> EmbeddingResult:
+    """Vectorised GEE through a plan's locality-optimized fused layout.
+
+    The layout-plan counterpart of :func:`gee_vectorized_with_plan`
+    (dispatched when ``plan.layout != "none"``): the scatter runs the
+    block-local segment-sum kernel over the compiled incidence arrays and
+    writes straight into the plan's reused output buffer — per call the
+    only temporaries are the O(2E) gathered/compacted index and weight
+    arrays plus one L2-sized block at a time, never a fresh ``(n*K,)``
+    output.  Same buffer-reuse contract as every plan kernel
+    (``EmbeddingResult.detached`` copies a result out).
+    """
+    y = plan.validate_labels(labels)
+    k = plan.n_classes
+    fused = plan.fused
+
+    t0 = time.perf_counter()
+    fully = bool(y.size) and int(y.min()) != UNKNOWN_LABEL
+    y_idx = y.astype(fused.index_dtype, copy=False)
+    t1 = time.perf_counter()
+
+    Z = plan.output_matrix()
+    accumulate_fused(Z.reshape(-1), fused, y_idx, fully_labelled=fully)
+    class_rescale(Z, y, k)
+    t2 = time.perf_counter()
+
+    return EmbeddingResult(
+        embedding=Z,
+        projection_builder=lambda: projection_from_scales(
+            y, projection_scales(y, k), k
+        ),
+        timings={"projection": t1 - t0, "edge_pass": t2 - t1, "total": t2 - t0},
+        method="gee-vectorized",
+        n_workers=1,
+        buffer_view=True,
+        layout=fused.layout,
+    )
 
 
 def gee_vectorized(
@@ -228,7 +415,16 @@ def accumulate_chunked_plan(
     large E is.  Shared by the serial chunked kernel and the parallel
     chunked workers (each streaming its own ``chunk_lo:chunk_hi`` slab), so
     all of them accumulate identical per-block contributions.
+
+    Sorted-layout chunked plans (``plan.layout == "sorted"``) stream an
+    owner-sorted *incidence* source instead and run the one-sided
+    segment-sum update per block — the accumulated values are then raw
+    per-class sums, and the **caller** must apply :func:`class_rescale`
+    once after the last chunk (``scales`` is ignored on that path).
     """
+    if getattr(plan, "layout", "none") == "sorted":
+        _accumulate_chunked_incidence(Z_flat, plan, y, chunk_lo, chunk_hi)
+        return
     if y.size == 0 or y.min() != UNKNOWN_LABEL:
         # Fully labelled (the refinement loop's regime): use each block's
         # precompiled flat-index components with no masking.
@@ -242,6 +438,49 @@ def accumulate_chunked_plan(
     k = plan.n_classes
     for src, dst, w in plan.source.iter_chunks(chunk_lo, chunk_hi):
         accumulate_edges_vectorized(Z_flat, src, dst, w, y, scales, k)
+
+
+def _accumulate_chunked_incidence(
+    Z_flat: np.ndarray,
+    plan,
+    y: np.ndarray,
+    chunk_lo: int = 0,
+    chunk_hi: Optional[int] = None,
+) -> None:
+    """Segment-sum edge pass over a sorted-incidence chunked source.
+
+    Each streamed block is ``(owner, partner, w)`` with owner globally
+    non-decreasing, so within a block the scatter targets are monotone and
+    the block-local bincounts write into L2-resident row-block slices.
+    Accumulates *raw* sums into ``Z_flat`` (``+=`` — a row may straddle a
+    chunk boundary); the caller rescales columns once at the end.
+    """
+    from .plan import _LAYOUT_BLOCK_BYTES
+
+    k = plan.n_classes
+    n = plan.n_vertices
+    rows_per_block = max(1, _LAYOUT_BLOCK_BYTES // (k * 8))
+    row_bounds = np.arange(0, n, rows_per_block, dtype=np.int64)
+    row_bounds = np.append(row_bounds, n)
+    flat_bounds = row_bounds * k
+    fully = bool(y.size) and int(y.min()) != UNKNOWN_LABEL
+    for owner, partner, w in plan.source.iter_chunks(chunk_lo, chunk_hi):
+        yp = y[partner]
+        if fully:
+            flat = owner * k + yp
+            wts = w
+        else:
+            known = yp != UNKNOWN_LABEL
+            flat = owner[known] * k + yp[known]
+            wts = w[known]
+        if flat.size == 0:
+            continue
+        # Restrict the block loop to the rows this chunk actually touches.
+        first = int(np.searchsorted(flat_bounds, flat[0], side="right")) - 1
+        last = int(np.searchsorted(flat_bounds, flat[-1], side="right"))
+        bounds = flat_bounds[first : last + 1]
+        cuts = np.searchsorted(flat, bounds)
+        _block_scatter(Z_flat, flat, wts, bounds, cuts, accumulate=True)
 
 
 def gee_vectorized_chunked(plan, labels: np.ndarray) -> EmbeddingResult:
@@ -261,15 +500,19 @@ def gee_vectorized_chunked(plan, labels: np.ndarray) -> EmbeddingResult:
 
     Z_flat = plan.zeroed_output()
     accumulate_chunked_plan(Z_flat, plan, y, scales)
+    Z = Z_flat.reshape(plan.n_vertices, k)
+    if getattr(plan, "layout", "none") == "sorted":
+        class_rescale(Z, y, k)
     t2 = time.perf_counter()
 
     return EmbeddingResult(
-        embedding=Z_flat.reshape(plan.n_vertices, k),
+        embedding=Z,
         projection_builder=lambda: projection_from_scales(y, scales, k),
         timings={"projection": t1 - t0, "edge_pass": t2 - t1, "total": t2 - t0},
         method="gee-vectorized",
         n_workers=1,
         buffer_view=True,
+        layout=getattr(plan, "layout", "none"),
     )
 
 
@@ -285,7 +528,13 @@ def gee_vectorized_with_plan(plan, labels: np.ndarray) -> EmbeddingResult:
     The returned embedding is a view of the plan's output buffer — it is
     valid until the next plan-based call on the same plan (see
     :meth:`EmbeddingResult.detached`).
+
+    Plans compiled with a locality-optimized layout
+    (``graph.plan(K, layout="sorted"|"blocked")``) dispatch to the fused
+    segment-sum kernel (:func:`gee_fused_with_plan`) instead.
     """
+    if plan.layout != "none":
+        return gee_fused_with_plan(plan, labels)
     y = plan.validate_labels(labels)
     k = plan.n_classes
 

@@ -41,6 +41,10 @@ from .validation import validate_edges, validate_labels
 __all__ = [
     "EmbedPlan",
     "ChunkedPlan",
+    "FusedLayout",
+    "LAYOUTS",
+    "choose_index_dtype",
+    "compile_fused_layout",
     "edge_fingerprint",
     "csr_fingerprint",
     "edge_fingerprint_full",
@@ -49,6 +53,212 @@ __all__ = [
 
 #: Number of evenly-spaced edge samples hashed into the fingerprint.
 _FINGERPRINT_SAMPLES = 32
+
+#: The memory layouts a plan can compile its edge arrays into.  ``"none"``
+#: preserves arrival order (the historical, layout-preserving default);
+#: ``"sorted"`` and ``"blocked"`` permute for scatter locality (see
+#: :class:`FusedLayout`); ``"auto"`` lets the calibrated cost model pick.
+LAYOUTS = ("none", "sorted", "blocked")
+
+#: Flat scatter indices narrow to int32 below this ``n * K`` bound — the
+#: index arrays are the dominant per-edge read traffic of the fused kernel,
+#: so halving their width halves index bandwidth.  Above the bound a flat
+#: index no longer fits a signed 32-bit integer and int64 is required.
+_INT32_LIMIT = 2**31
+
+#: Target size in bytes of one row block's output slice.  Each block's
+#: scatter window (``rows_per_block * K`` float64 slots) is sized to stay
+#: resident in a typical L2 cache, so the block-local ``np.bincount``
+#: writes never leave it.
+_LAYOUT_BLOCK_BYTES = 1 << 18
+
+
+def choose_index_dtype(n_vertices: int, n_classes: int, *, limit: int = _INT32_LIMIT):
+    """The narrowest integer dtype that can hold every flat index ``< n*K``.
+
+    int32 when ``n_vertices * n_classes < limit`` (every flat scatter index
+    is in ``[0, n*K)``), int64 otherwise.  The product is computed in Python
+    integers, so the decision itself can never overflow.
+    """
+    if int(n_vertices) * int(n_classes) < limit:
+        return np.int32
+    return np.int64
+
+
+class FusedLayout:
+    """Locality-optimized incidence arrays for the GEE edge pass.
+
+    The edge pass updates ``Z[u, Y[v]] += scale[v]·w`` and
+    ``Z[v, Y[u]] += scale[u]·w`` per edge — two scatter halves whose flat
+    targets are effectively random in arrival order.  The fused layout
+    rewrites the pass as **one** array of ``2E`` incidences
+    ``(owner, partner, w)`` (each edge appears twice, once per endpoint as
+    owner), permuted at compile time so scatter targets are cache-local:
+
+    * ``layout="sorted"`` — incidences fully sorted by owner row; flat
+      targets are monotone across rows, so the scatter walks the output
+      sequentially (and within one row touches at most ``K`` adjacent
+      slots);
+    * ``layout="blocked"`` — incidences bucketed by *blocks* of owner rows
+      sized so each block's output slice fits L2; arrival order is kept
+      within a block (a cheaper stable partition instead of a full sort).
+
+    The per-edge scale is also hoisted: ``scale[v]`` depends only on
+    ``Y[v]`` — the very class column the contribution lands in — so the
+    kernel scatters *raw* weights and applies ``diag(1/n_c)`` per column
+    afterwards (the ``Z = S·diag(1/n_c)`` identity), eliminating the O(E)
+    scale gather entirely.  Index arrays narrow to int32 when
+    ``n*K < 2^31`` (:func:`choose_index_dtype`), halving index bandwidth.
+
+    All artifacts are label-independent; per call only the ``Y`` gather,
+    the (masked) flat-index add and the block-local ``np.bincount``s run.
+    The permutation reorders commutative additions only, so results match
+    the arrival-order kernels up to floating-point summation order.
+    """
+
+    __slots__ = (
+        "__weakref__",
+        "layout",
+        "n_vertices",
+        "n_classes",
+        "n_incidences",
+        "rows_per_block",
+        "index_dtype",
+        "owner_flat",
+        "partner",
+        "weights",
+        "row_cuts",
+        "flat_cuts",
+        "edge_cuts",
+    )
+
+    def __init__(
+        self,
+        layout: str,
+        n_vertices: int,
+        n_classes: int,
+        rows_per_block: int,
+        index_dtype,
+        owner_flat: np.ndarray,
+        partner: np.ndarray,
+        weights: Optional[np.ndarray],
+        row_cuts: np.ndarray,
+        flat_cuts: np.ndarray,
+        edge_cuts: np.ndarray,
+    ) -> None:
+        self.layout = layout
+        self.n_vertices = int(n_vertices)
+        self.n_classes = int(n_classes)
+        self.n_incidences = int(owner_flat.size)
+        self.rows_per_block = int(rows_per_block)
+        self.index_dtype = index_dtype
+        #: ``owner * K`` per incidence, permuted (int32/int64 per dtype).
+        self.owner_flat = owner_flat
+        #: The other endpoint per incidence, permuted (same dtype).
+        self.partner = partner
+        #: Permuted weights, or ``None`` for unit-weight graphs (the
+        #: block-local ``bincount`` then runs weightless, which is faster).
+        self.weights = weights
+        #: Row-block boundaries (``B+1`` vertex ids, first 0, last n).
+        self.row_cuts = row_cuts
+        #: ``row_cuts * K`` — the same boundaries in flat-index space.
+        self.flat_cuts = flat_cuts
+        #: Incidence positions of each block's slice (``B+1`` entries).
+        self.edge_cuts = edge_cuts
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held by the compiled incidence arrays."""
+        total = self.owner_flat.nbytes + self.partner.nbytes
+        if self.weights is not None:
+            total += self.weights.nbytes
+        return total + self.row_cuts.nbytes + self.edge_cuts.nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FusedLayout(layout={self.layout!r}, n={self.n_vertices}, "
+            f"incidences={self.n_incidences}, K={self.n_classes}, "
+            f"dtype={np.dtype(self.index_dtype).name})"
+        )
+
+
+def compile_fused_layout(
+    src: np.ndarray,
+    dst: np.ndarray,
+    weights: Optional[np.ndarray],
+    n_vertices: int,
+    n_classes: int,
+    layout: str,
+    *,
+    int32_limit: int = _INT32_LIMIT,
+    block_bytes: int = _LAYOUT_BLOCK_BYTES,
+) -> FusedLayout:
+    """Compile the fused incidence arrays for one ``(graph, K)`` pair.
+
+    ``weights=None`` marks a unit-weight graph (no weight array is stored
+    and the scatter runs weightless).  See :class:`FusedLayout` for what
+    the two layouts mean; ``layout`` must be ``"sorted"`` or ``"blocked"``.
+    """
+    if layout not in ("sorted", "blocked"):
+        raise ValueError(f'layout must be "sorted" or "blocked", got {layout!r}')
+    n = int(n_vertices)
+    k = int(n_classes)
+    idx_dtype = choose_index_dtype(n, k, limit=int32_limit)
+    rows_per_block = max(1, int(block_bytes) // (k * 8))
+
+    owner = np.concatenate((src, dst))
+    partner = np.concatenate((dst, src))
+    row_cuts = np.arange(0, n, rows_per_block, dtype=np.int64)
+    row_cuts = np.append(row_cuts, n)
+
+    if layout == "sorted":
+        order = np.argsort(owner, kind="stable")
+        owner_sorted = owner[order]
+        edge_cuts = np.searchsorted(owner_sorted, row_cuts).astype(np.int64)
+    else:
+        block_id = owner // rows_per_block
+        order = np.argsort(block_id, kind="stable")
+        owner_sorted = owner[order]
+        n_blocks = row_cuts.size - 1
+        per_block = np.bincount(block_id, minlength=n_blocks)
+        edge_cuts = np.concatenate(([0], np.cumsum(per_block))).astype(np.int64)
+
+    owner_flat = (owner_sorted * k).astype(idx_dtype)
+    partner_p = partner[order].astype(idx_dtype)
+    weights_p = None if weights is None else np.concatenate((weights, weights))[order]
+    flat_cuts = row_cuts * k
+    return FusedLayout(
+        layout,
+        n,
+        k,
+        rows_per_block,
+        idx_dtype,
+        owner_flat,
+        partner_p,
+        weights_p,
+        row_cuts,
+        flat_cuts,
+        edge_cuts,
+    )
+
+
+def sorted_incidence(
+    src: np.ndarray, dst: np.ndarray, weights: Optional[np.ndarray]
+) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    """The owner-sorted ``(owner, partner, w)`` incidence triple of an edge set.
+
+    The raw-vertex-id counterpart of :func:`compile_fused_layout`, used to
+    build chunked *incidence* sources (``graph.plan(K, chunk_edges=...,
+    layout="sorted")``): each edge appears twice, once per endpoint as
+    owner, and the triple is sorted by owner so every streamed block's
+    scatter targets are monotone.  ``weights=None`` stays ``None`` (unit
+    weights).
+    """
+    owner = np.concatenate((src, dst))
+    partner = np.concatenate((dst, src))
+    order = np.argsort(owner, kind="stable")
+    w2 = None if weights is None else np.concatenate((weights, weights))[order]
+    return owner[order], partner[order], w2
 
 
 def edge_fingerprint(edges) -> Tuple:
@@ -168,7 +378,14 @@ class EmbedPlan:
     #: isinstance so the two plan kinds stay duck-compatible.
     is_chunked = False
 
-    def __init__(self, graph, n_classes: int, *, fingerprint: Optional[Tuple] = None):
+    def __init__(
+        self,
+        graph,
+        n_classes: int,
+        *,
+        fingerprint: Optional[Tuple] = None,
+        layout: str = "none",
+    ):
         from ..graph.facade import Graph
 
         if not isinstance(graph, Graph):  # pragma: no cover - defensive
@@ -178,11 +395,17 @@ class EmbedPlan:
             raise ValueError("n_classes must be positive")
         if graph.n_vertices == 0:
             raise ValueError("GEE requires at least one vertex")
+        if layout not in LAYOUTS:
+            raise ValueError(f"layout must be one of {LAYOUTS}, got {layout!r}")
 
         self.graph = graph
         self.n_classes = k
         self.n_vertices = int(graph.n_vertices)
         self.n_edges = int(graph.n_edges)
+        #: Compiled memory layout: ``"none"`` preserves arrival order;
+        #: ``"sorted"`` / ``"blocked"`` compile a :class:`FusedLayout` on
+        #: first access of :attr:`fused`.
+        self.layout = layout
 
         self.fingerprint = (
             edge_fingerprint(graph.edges) if fingerprint is None else fingerprint
@@ -192,8 +415,12 @@ class EmbedPlan:
         self._src: Optional[np.ndarray] = None
         self._dst: Optional[np.ndarray] = None
         self._weights: Optional[np.ndarray] = None
+        self._unit_weights: Optional[bool] = None
         self._src_flat: Optional[np.ndarray] = None
         self._dst_flat: Optional[np.ndarray] = None
+        self._fused: Optional[FusedLayout] = None
+        self._total_degrees: Optional[np.ndarray] = None
+        self._fused_row_ranges: Dict[int, List[Tuple[int, int]]] = {}
         self._Z_flat: Optional[np.ndarray] = None
         self._in_degrees: Optional[np.ndarray] = None
         self._row_ranges: Dict[int, List[Tuple[int, int]]] = {}
@@ -211,6 +438,7 @@ class EmbedPlan:
         edges = validate_edges(self.graph.edges)
         self._src = edges.src
         self._dst = edges.dst
+        self._unit_weights = edges.weights is None
         self._weights = edges.effective_weights()
 
     @property
@@ -247,6 +475,67 @@ class EmbedPlan:
         if self._dst_flat is None:
             self._dst_flat = self.dst * self.n_classes
         return self._dst_flat
+
+    # ------------------------------------------------------------------ #
+    # Locality-optimized layout (sorted / blocked incidence arrays)
+    # ------------------------------------------------------------------ #
+    @property
+    def unit_weights(self) -> bool:
+        """Whether the graph is unit-weight (no weight array stored)."""
+        if self._unit_weights is None:
+            self._materialise_edges()
+        return bool(self._unit_weights)
+
+    @property
+    def fused(self) -> FusedLayout:
+        """The compiled :class:`FusedLayout` (requires ``layout != "none"``).
+
+        Built on first access from the validated edge arrays and cached for
+        the plan's lifetime — the layout permutation, flat-index narrowing
+        and block boundaries are all label-independent.
+        """
+        if self.layout == "none":
+            raise ValueError(
+                'this plan was compiled layout-preserving (layout="none"); '
+                'request graph.plan(K, layout="sorted"|"blocked") for the '
+                "locality-optimized arrays"
+            )
+        if self._fused is None:
+            self._fused = compile_fused_layout(
+                self.src,
+                self.dst,
+                None if self.unit_weights else self.weights,
+                self.n_vertices,
+                self.n_classes,
+                self.layout,
+            )
+        return self._fused
+
+    @property
+    def total_degrees(self) -> np.ndarray:
+        """Unweighted total (in + out) degree per vertex, from the edge arrays.
+
+        Used by the fused parallel path's degree-balanced row partition —
+        unlike :attr:`in_degrees`/:attr:`out_degrees` it never forces the
+        CSR/CSC views, so layout plans stay adjacency-free.
+        """
+        if self._total_degrees is None:
+            n = self.n_vertices
+            self._total_degrees = np.bincount(self.src, minlength=n) + np.bincount(
+                self.dst, minlength=n
+            )
+        return self._total_degrees
+
+    def fused_row_ranges(self, n_parts: int) -> List[Tuple[int, int]]:
+        """Degree-balanced row ranges for the fused parallel path, cached."""
+        n_parts = int(n_parts)
+        cached = self._fused_row_ranges.get(n_parts)
+        if cached is None:
+            from .gee_parallel import balanced_ranges_from_work
+
+            cached = balanced_ranges_from_work(self.total_degrees, n_parts)
+            self._fused_row_ranges[n_parts] = cached
+        return cached
 
     # ------------------------------------------------------------------ #
     # Adjacency and degree views (cached on the shared Graph / CSRGraph)
@@ -350,10 +639,14 @@ class EmbedPlan:
                 "extended() cannot change the vertex set "
                 f"({self.n_vertices} -> {int(graph.n_vertices)}); recompile the plan"
             )
-        new = EmbedPlan(graph, self.n_classes, fingerprint=fingerprint)
+        new = EmbedPlan(graph, self.n_classes, fingerprint=fingerprint, layout=self.layout)
         if self._src is not None:
             new._src = np.concatenate((self._src, src))
             new._dst = np.concatenate((self._dst, dst))
+            # Appended batches always carry explicit weights, so the
+            # extended plan is no longer unit-weight unless they are all 1
+            # (the fused layout recompiles lazily from these seeds anyway).
+            new._unit_weights = bool(self._unit_weights) and bool(np.all(weights == 1.0))
             new._weights = np.concatenate((self._weights, weights))
         if self._src_flat is not None:
             new._src_flat = np.concatenate((self._src_flat, src * self.n_classes))
@@ -412,6 +705,7 @@ class ChunkedPlan:
         *,
         graph=None,
         fingerprint: Optional[Tuple] = None,
+        layout: str = "none",
     ):
         from ..graph.io import ChunkedEdgeSource
 
@@ -422,13 +716,31 @@ class ChunkedPlan:
         k = int(n_classes)
         if k <= 0:
             raise ValueError("n_classes must be positive")
+        if layout not in ("none", "sorted"):
+            raise ValueError(
+                'chunked plans support layout="none" or "sorted" (blocked '
+                f"bucketing needs the whole edge set in memory), got {layout!r}"
+            )
         self.source = source
         self.graph = graph
         self.n_classes = k
         self.n_vertices = int(source.n_vertices)
-        self.n_edges = int(source.n_edges)
+        # A sorted-incidence source holds each directed edge twice (once per
+        # endpoint as owner); n_edges stays the graph's directed edge count
+        # so plans are comparable across layouts (per-edge metrics, the
+        # cost model's E term).
+        self.n_edges = (
+            int(source.n_edges) if layout == "none" else int(source.n_edges) // 2
+        )
         self.chunk_edges = int(source.chunk_edges)
         self.fingerprint = fingerprint
+        #: ``"sorted"`` marks an *incidence* source: the blocks stream
+        #: ``(owner, partner, w)`` triples sorted by owner (each edge
+        #: appears twice), and the chunked kernels run the one-sided
+        #: segment-sum update with a final per-column rescale instead of
+        #: the two-sided edge update.  Built by
+        #: ``graph.plan(K, chunk_edges=..., layout="sorted")``.
+        self.layout = layout
         self._Z_flat: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ #

@@ -16,7 +16,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from .validation import UNKNOWN_LABEL, class_counts
+from .validation import UNKNOWN_LABEL, class_counts, inverse_class_counts
 
 __all__ = [
     "build_projection",
@@ -73,12 +73,10 @@ def projection_scales(labels: np.ndarray, n_classes: int) -> np.ndarray:
     so the fast kernels carry this length-``n`` vector instead of the dense
     ``n×K`` matrix — same values, ``K×`` less memory traffic.
     """
-    counts = class_counts(labels, n_classes).astype(np.float64)
     scales = np.zeros(labels.shape[0], dtype=np.float64)
     known = labels != UNKNOWN_LABEL
     lab = labels[known]
-    with np.errstate(divide="ignore"):
-        inv = np.where(counts > 0, 1.0 / np.maximum(counts, 1), 0.0)
+    inv = inverse_class_counts(class_counts(labels, n_classes))
     scales[known] = inv[lab]
     return scales
 

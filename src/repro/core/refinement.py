@@ -41,7 +41,7 @@ from ..graph.facade import Graph, GraphLike
 from ..labels.kmeans import kmeans
 from .gee_vectorized import gee_vectorized, scatter_add
 from .result import EmbeddingResult
-from .validation import class_counts
+from .validation import class_counts, inverse_class_counts
 
 __all__ = ["RefinementResult", "gee_unsupervised"]
 
@@ -380,8 +380,7 @@ def gee_unsupervised(
             _apply_label_delta(S_flat, plan, labels_of_S, labels)
             labels_of_S = labels.copy()
             n_delta += 1
-            counts = class_counts(labels, k).astype(np.float64)
-            inv = np.where(counts > 0, 1.0 / np.maximum(counts, 1.0), 0.0)
+            inv = inverse_class_counts(class_counts(labels, k))
             Z = S_flat.reshape(n, k) * inv[None, :]
             result = EmbeddingResult(
                 embedding=Z,

@@ -43,6 +43,8 @@ class EmbeddingResult:
         *,
         projection_builder: Optional[Callable[[], np.ndarray]] = None,
         buffer_view: bool = False,
+        layout: str = "none",
+        execution_choice=None,
     ) -> None:
         if projection is None and projection_builder is None:
             raise TypeError("provide either projection or projection_builder")
@@ -56,6 +58,13 @@ class EmbeddingResult:
         #: by the buffer-reusing plan kernels; makes :meth:`detached` cheap
         #: for everything else).
         self.buffer_view = buffer_view
+        #: Memory layout the edge pass executed with (``"none"`` = arrival
+        #: order; ``"sorted"``/``"blocked"`` = the locality-optimized fused
+        #: kernels) — observability for benchmarks and the auto backend.
+        self.layout = layout
+        #: The :class:`~repro.tune.ExecutionChoice` behind a
+        #: ``backend="auto"`` run (``None`` for explicitly-picked backends).
+        self.execution_choice = execution_choice
 
     @property
     def projection(self) -> np.ndarray:
@@ -109,6 +118,8 @@ class EmbeddingResult:
             method=self.method,
             n_workers=self.n_workers,
             projection_builder=self._projection_builder,
+            layout=self.layout,
+            execution_choice=self.execution_choice,
         )
         return clone
 

@@ -25,6 +25,7 @@ __all__ = [
     "labels_to_paper_convention",
     "infer_n_classes",
     "class_counts",
+    "inverse_class_counts",
     "validate_edges",
 ]
 
@@ -99,6 +100,19 @@ def class_counts(labels: np.ndarray, n_classes: int) -> np.ndarray:
     y = np.asarray(labels, dtype=np.int64)
     known = y[y != UNKNOWN_LABEL]
     return np.bincount(known, minlength=n_classes).astype(np.int64)
+
+
+def inverse_class_counts(counts: np.ndarray) -> np.ndarray:
+    """``1 / n_c`` per class, with empty classes mapped to 0 (shape ``(K,)``).
+
+    The single definition of the ``Z = S·diag(1/n_c)`` rescale factor used
+    by the raw-sum paths (streaming estimator, delta refinement,
+    incremental maintenance, the fused layout kernels) — one place to
+    change the empty-class convention, so those paths stay bit-compatible
+    with each other.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    return np.where(counts > 0, 1.0 / np.maximum(counts, 1.0), 0.0)
 
 
 def labels_from_paper_convention(y_paper: np.ndarray) -> np.ndarray:

@@ -67,6 +67,7 @@ class Graph:
         self._out_degrees: Optional[np.ndarray] = None
         self._in_degrees: Optional[np.ndarray] = None
         self._weighted_degrees: Optional[np.ndarray] = None
+        self._is_weighted: Optional[bool] = None
         #: K -> compiled EmbedPlan, or ("chunked", K, chunk_edges) ->
         #: compiled ChunkedPlan (see :meth:`plan`), oldest-first.
         self._plans: Dict[object, object] = {}
@@ -156,12 +157,20 @@ class Graph:
 
     @property
     def is_weighted(self) -> bool:
-        """Whether the graph carries non-unit edge weights."""
-        if self._edges is not None:
-            return self._edges.is_weighted
-        assert self._csr is not None
-        # CSR always materialises a weight array; treat all-unit as unweighted.
-        return not bool(np.all(self._csr.weights == 1.0))
+        """Whether the graph carries non-unit edge weights (cached).
+
+        For CSR-adopted graphs the answer needs an O(s) scan of the weight
+        column (CSR always materialises one; all-unit counts as
+        unweighted), so it is computed once — per-call consumers like the
+        auto backend's cost-model query must not re-pay it.
+        """
+        if self._is_weighted is None:
+            if self._edges is not None:
+                self._is_weighted = self._edges.is_weighted
+            else:
+                assert self._csr is not None
+                self._is_weighted = not bool(np.all(self._csr.weights == 1.0))
+        return self._is_weighted
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         cached = [
@@ -274,6 +283,7 @@ class Graph:
         chunk_edges: Optional[int] = None,
         memory_budget_bytes: Optional[int] = None,
         fingerprint: Optional[str] = None,
+        layout: Optional[str] = None,
     ):
         """The compiled :class:`~repro.core.plan.EmbedPlan` for ``K`` classes.
 
@@ -302,10 +312,35 @@ class Graph:
         ``"full"`` (an O(s) digest of every edge, exact for any content
         change).  Switching modes on a graph with cached plans drops them
         once (the fingerprints are not comparable across modes).
+
+        ``layout`` selects the plan's memory layout: ``None``/``"none"``
+        (the default — arrival order preserved, byte-identical to the
+        historical behaviour), ``"sorted"`` / ``"blocked"`` (the
+        locality-optimized fused incidence layouts, see
+        :class:`~repro.core.plan.FusedLayout`; results equal the default
+        layout up to floating-point summation order), or ``"auto"`` (the
+        calibrated cost model picks — see :mod:`repro.tune`).  Each layout
+        is a separate cached plan.  Chunked plans support ``"sorted"``
+        (streamed incidence blocks) for in-memory sources only.
         """
-        from ..core.plan import EmbedPlan
+        from ..core.plan import LAYOUTS, EmbedPlan
 
         k = int(n_classes)
+        if layout is None:
+            layout = "none"
+        elif layout == "auto":
+            from ..tune import auto_layout
+
+            layout = auto_layout(
+                self.n_vertices,
+                self.n_edges,
+                k,
+                chunked=chunk_edges is not None or memory_budget_bytes is not None,
+            )
+        elif layout not in LAYOUTS:
+            raise ValueError(
+                f'layout must be one of {LAYOUTS + ("auto",)}, got {layout!r}'
+            )
         if fingerprint is not None:
             if fingerprint not in ("sampled", "full"):
                 raise ValueError(
@@ -328,18 +363,27 @@ class Graph:
             baseline = self._view_fingerprint
         if baseline is not None and baseline != fingerprint:
             self.invalidate_cache()
-        if chunk_edges is not None or memory_budget_bytes is not None:
+        chunked = chunk_edges is not None or memory_budget_bytes is not None
+        if chunked:
             from .io import ChunkedEdgeSource
 
-            source = ChunkedEdgeSource.from_edgelist(
-                self.edges,
-                chunk_edges=chunk_edges,
-                memory_budget_bytes=memory_budget_bytes,
+            if layout == "blocked":
+                raise ValueError(
+                    'chunked plans support layout="sorted" (or the default '
+                    '"none"); the blocked bucketing needs the whole edge set '
+                    "in memory"
+                )
+            # Resolve the block length for the cache key WITHOUT building
+            # the source: on a hit the (potentially O(E log E)) incidence
+            # sort must never run.
+            resolved_chunk = ChunkedEdgeSource._resolve_chunk_edges(
+                memory_budget_bytes, chunk_edges
             )
-            key = ("chunked", k, source.chunk_edges)
+            key = ("chunked", k, resolved_chunk, layout)
         else:
-            source = None
-            key = k
+            # The bare-K key keeps the historical default plans (and every
+            # pre-layout caller) hitting the same cache slot.
+            key = k if layout == "none" else (k, layout)
         cached = self._plans.get(key)
         if cached is not None:
             return cached
@@ -347,12 +391,28 @@ class Graph:
             # Drop the oldest plan (insertion order) — K sweeps beyond the
             # cap would otherwise pin one flat-index pair + buffer per K.
             self._plans.pop(next(iter(self._plans)))
-        if source is not None:
+        if chunked:
             from ..core.plan import ChunkedPlan
 
-            plan = ChunkedPlan(source, k, graph=self, fingerprint=fingerprint)
+            if layout == "sorted":
+                from ..core.plan import sorted_incidence
+
+                edges = self.edges
+                owner, partner, w2 = sorted_incidence(
+                    edges.src, edges.dst, edges.weights
+                )
+                source = ChunkedEdgeSource(
+                    owner, partner, w2, self.n_vertices, chunk_edges=resolved_chunk
+                )
+            else:
+                source = ChunkedEdgeSource.from_edgelist(
+                    self.edges, chunk_edges=resolved_chunk
+                )
+            plan = ChunkedPlan(
+                source, k, graph=self, fingerprint=fingerprint, layout=layout
+            )
         else:
-            plan = EmbedPlan(self, k, fingerprint=fingerprint)
+            plan = EmbedPlan(self, k, fingerprint=fingerprint, layout=layout)
         self._plans[key] = plan
         return plan
 
@@ -389,6 +449,7 @@ class Graph:
         self._out_degrees = None
         self._in_degrees = None
         self._weighted_degrees = None
+        self._is_weighted = None
         self._view_fingerprint = None
         self._plans.clear()
 

@@ -32,7 +32,12 @@ from typing import Optional, Union
 
 import numpy as np
 
-from ..core.validation import UNKNOWN_LABEL, class_counts, validate_labels
+from ..core.validation import (
+    UNKNOWN_LABEL,
+    class_counts,
+    inverse_class_counts,
+    validate_labels,
+)
 from .dynamic import DynamicGraph
 
 __all__ = ["IncrementalEmbedding", "UpdateReport"]
@@ -325,7 +330,7 @@ class IncrementalEmbedding:
         # Renormalise: Z = S·diag(1/n_c), recomputed only where it moved —
         # the rows the patch touched, plus any whole column whose class
         # count changed (newly-labelled vertices rescale their class).
-        inv = np.where(counts > 0, 1.0 / np.maximum(counts, 1.0), 0.0)
+        inv = inverse_class_counts(counts)
         if rows.size:
             self._Z[rows] = self._S[rows] * inv[None, :]
         changed_cols = np.flatnonzero(counts != old_counts)

@@ -1,0 +1,48 @@
+"""repro.tune — the adaptive execution layer.
+
+Two halves:
+
+* **calibration** (:mod:`repro.tune.calibration`) — a one-time per-machine
+  micro-benchmark of the actual plan-path kernels, fitted to a three-term
+  cost model and persisted to ``~/.cache/repro/tune.json``
+  (``REPRO_TUNE_DIR`` overrides; ``python -m repro.tune`` runs it);
+* **the cost model** (:mod:`repro.tune.cost_model`) —
+  :meth:`CostModel.choose` turns ``(n, E, K, workers)`` into a concrete
+  :class:`ExecutionChoice` (backend, layout, workers, chunking), which the
+  registered ``"auto"`` backend executes and logs on the result.
+
+Missing or stale calibration degrades to built-in default coefficients with
+a one-time warning — ``backend="auto"`` always runs.
+"""
+
+from .calibration import (
+    SCHEMA_VERSION,
+    calibrate,
+    calibration_staleness,
+    load_calibration,
+    save_calibration,
+    tune_cache_path,
+)
+from .cost_model import (
+    DEFAULT_CALIBRATION,
+    CostModel,
+    ExecutionChoice,
+    auto_layout,
+    get_cost_model,
+    reset_cost_model,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CostModel",
+    "ExecutionChoice",
+    "DEFAULT_CALIBRATION",
+    "auto_layout",
+    "calibrate",
+    "calibration_staleness",
+    "get_cost_model",
+    "load_calibration",
+    "save_calibration",
+    "reset_cost_model",
+    "tune_cache_path",
+]

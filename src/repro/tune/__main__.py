@@ -1,0 +1,64 @@
+"""CLI: calibrate this machine's execution cost model.
+
+``python -m repro.tune`` measures the plan-path kernels (see
+:func:`repro.tune.calibrate`) and writes the coefficient cache that
+``backend="auto"`` / ``layout="auto"`` consult.  Safe to re-run any time;
+CI caches the artifact between runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import (
+    calibrate,
+    calibration_staleness,
+    get_cost_model,
+    load_calibration,
+    reset_cost_model,
+    save_calibration,
+    tune_cache_path,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="re-measure even when a fresh calibration cache already exists",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats per design point"
+    )
+    args = parser.parse_args(argv)
+
+    path = tune_cache_path()
+    existing = load_calibration()
+    if existing is not None and not args.force:
+        reason = calibration_staleness(existing)
+        if reason is None:
+            print(f"calibration cache at {path} is current; use --force to re-measure")
+            return 0
+        print(f"recalibrating: {reason}")
+
+    data = calibrate(repeats=args.repeats)
+    save_calibration(data)
+    reset_cost_model()
+    model = get_cost_model(refresh=True)
+    print(f"wrote {path}")
+    for config in sorted(data["coefficients"]):
+        c = data["coefficients"][config]
+        print(
+            f"  {config:>20}: fixed={c['fixed_s'] * 1e6:8.1f} us  "
+            f"per_edge={c['per_edge_s'] * 1e9:7.2f} ns  "
+            f"per_cell={c['per_cell_s'] * 1e9:7.2f} ns"
+        )
+    sample = model.choose(65536, 1 << 20, 50)
+    print(f"example choice for n=65536, E=2^20, K=50: {sample}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

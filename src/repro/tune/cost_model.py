@@ -1,0 +1,344 @@
+"""The calibrated execution cost model behind ``backend="auto"``.
+
+:class:`CostModel` holds per-``backend:layout`` cost coefficients (from the
+machine calibration, :mod:`repro.tune.calibration`, or built-in defaults)
+and answers the one question every embed entry point has been delegating to
+the caller since PR 1: *which execution strategy is fastest for this graph
+on this machine?*  :meth:`CostModel.choose` returns a full
+:class:`ExecutionChoice` — backend, layout, worker count, chunking — and
+the auto backend executes it; the choice is logged on the result
+(``result.execution_choice``) for observability.
+
+Degradation is deliberate and safe: a missing, corrupt, or stale
+calibration cache produces a one-time :class:`RuntimeWarning` and the
+built-in :data:`DEFAULT_CALIBRATION` coefficients — auto never errors for
+lack of a cache.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from .calibration import (
+    calibration_staleness,
+    load_calibration,
+    tune_cache_path,
+)
+
+__all__ = [
+    "CostModel",
+    "ExecutionChoice",
+    "DEFAULT_CALIBRATION",
+    "auto_layout",
+    "get_cost_model",
+    "reset_cost_model",
+]
+
+#: Built-in fallback coefficients (seconds), fitted on the reference dev
+#: container with the same procedure as :func:`repro.tune.calibrate`.  The
+#: absolute numbers matter less than the *ratios* — random scatter vs.
+#: segment-sum scatter vs. sparse matmul vs. interpreted loop — which are
+#: stable across commodity x86.  A real per-machine calibration
+#: (``python -m repro.tune``) always supersedes these.
+DEFAULT_CALIBRATION: Dict = {
+    "schema": 1,
+    "cpu_count": None,
+    "parallel_workers": 0,
+    "coefficients": {
+        "vectorized:none": {
+            "fixed_s": 1.0e-05,
+            "per_edge_s": 3.3e-08,
+            "per_cell_s": 1.3e-09,
+        },
+        "vectorized:sorted": {
+            "fixed_s": 1.5e-05,
+            "per_edge_s": 1.1e-08,
+            "per_cell_s": 1.6e-09,
+        },
+        "vectorized:blocked": {
+            "fixed_s": 1.5e-05,
+            "per_edge_s": 1.25e-08,
+            "per_cell_s": 1.5e-09,
+        },
+        "sparse:none": {
+            "fixed_s": 2.0e-05,
+            "per_edge_s": 1.3e-08,
+            "per_cell_s": 6.3e-09,
+        },
+        "python:none": {
+            "fixed_s": 0.0,
+            "per_edge_s": 1.1e-06,
+            "per_cell_s": 0.0,
+        },
+    },
+}
+
+#: Configurations eligible for the chunked (out-of-core) path.
+_CHUNK_CAPABLE = ("vectorized:sorted", "vectorized:none", "sparse:none")
+
+#: The interpreted loop is only ever competitive on toy graphs; beyond this
+#: edge count its candidacy is suppressed so a miscalibrated fixed term can
+#: never select it at scale.
+_PYTHON_MAX_EDGES = 50_000
+
+
+@dataclass(frozen=True)
+class ExecutionChoice:
+    """A fully-resolved execution strategy for one embed.
+
+    What ``backend="auto"`` decided and why: the concrete backend and
+    layout to run, the worker count (``None`` = serial), the chunk size to
+    keep (``None`` = in-memory), the predicted wall-clock, whether the
+    prediction came from a real machine calibration or the built-in
+    defaults, and the full per-candidate prediction table for
+    observability.
+    """
+
+    backend: str
+    layout: str
+    n_workers: Optional[int] = None
+    chunk_edges: Optional[int] = None
+    predicted_s: float = float("nan")
+    source: str = "default"
+    predictions: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def config(self) -> str:
+        """The ``backend:layout`` key of the chosen configuration."""
+        return f"{self.backend}:{self.layout}"
+
+    def to_dict(self) -> Dict:
+        """JSON-able summary (what the benchmarks record)."""
+        return {
+            "backend": self.backend,
+            "layout": self.layout,
+            "n_workers": self.n_workers,
+            "chunk_edges": self.chunk_edges,
+            "predicted_s": self.predicted_s,
+            "source": self.source,
+        }
+
+    def __str__(self) -> str:
+        workers = f", n_workers={self.n_workers}" if self.n_workers else ""
+        chunk = f", chunk_edges={self.chunk_edges}" if self.chunk_edges else ""
+        return (
+            f"{self.backend}:{self.layout}{workers}{chunk} "
+            f"(predicted {self.predicted_s * 1e3:.2f} ms, {self.source})"
+        )
+
+
+class CostModel:
+    """Per-machine execution cost predictions for the GEE edge pass.
+
+    ``coefficients`` maps ``backend:layout`` to the three-term model fitted
+    by the calibration (``fixed + per_edge·E + per_cell·n·K``); ``source``
+    records whether they came from a real calibration or the defaults.
+    """
+
+    def __init__(
+        self,
+        coefficients: Dict[str, Dict[str, float]],
+        *,
+        parallel_workers: int = 0,
+        source: str = "default",
+    ) -> None:
+        self.coefficients = dict(coefficients)
+        #: Worker count the ``parallel:sorted`` coefficients were measured
+        #: at (0 = parallel was not calibrated on this machine).
+        self.parallel_workers = int(parallel_workers)
+        self.source = source
+
+    @classmethod
+    def from_calibration(cls, data: Dict, *, source: str = "calibrated") -> "CostModel":
+        return cls(
+            data["coefficients"],
+            parallel_workers=int(data.get("parallel_workers") or 0),
+            source=source,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Prediction
+    # ------------------------------------------------------------------ #
+    def predict(self, config: str, n_vertices: int, n_edges: int, n_classes: int) -> float:
+        """Predicted seconds for one warm plan-path embed, or ``inf``."""
+        coeff = self.coefficients.get(config)
+        if coeff is None:
+            return float("inf")
+        return (
+            coeff["fixed_s"]
+            + coeff["per_edge_s"] * n_edges
+            + coeff["per_cell_s"] * n_vertices * n_classes
+        )
+
+    def _candidates(
+        self,
+        n_edges: int,
+        n_workers_available: int,
+        chunked: bool,
+        fixed_layout: Optional[str],
+    ) -> Tuple[str, ...]:
+        names = []
+        for config in self.coefficients:
+            backend, _, layout = config.partition(":")
+            if fixed_layout is not None and layout != fixed_layout:
+                continue
+            if chunked and config not in _CHUNK_CAPABLE:
+                continue
+            if backend == "python" and n_edges > _PYTHON_MAX_EDGES:
+                continue
+            if backend == "parallel":
+                if chunked or n_workers_available < 2 or self.parallel_workers < 2:
+                    continue
+            names.append(config)
+        return tuple(names)
+
+    def choose(
+        self,
+        n_vertices: int,
+        n_edges: int,
+        n_classes: int,
+        *,
+        weighted: bool = False,
+        n_workers_available: Optional[int] = None,
+        chunked: bool = False,
+        chunk_edges: Optional[int] = None,
+        fixed_layout: Optional[str] = None,
+    ) -> ExecutionChoice:
+        """The predicted-fastest execution strategy for one graph.
+
+        ``n_workers_available`` caps the parallel candidate (default: the
+        machine's CPU count); ``chunked`` restricts to configurations that
+        can stream an out-of-core source (``chunk_edges`` is then carried
+        through to the choice); ``fixed_layout`` pins the layout and lets
+        the model pick only among backends that execute it — used when the
+        caller cannot (standalone chunked sources) or must not (an
+        explicitly-requested layout) re-compile the plan.  All candidates
+        compute the identical embedding (``weighted`` is accepted for
+        signature stability — every candidate supports weights), so the
+        choice is purely a performance call and a wrong prediction costs
+        speed, never correctness.
+        """
+        # Reserved: every current candidate supports weights and their
+        # costs don't depend on weightedness, so the argument is accepted
+        # (per the stable signature) but not yet consulted.
+        del weighted
+        n, e, k = int(n_vertices), int(n_edges), int(n_classes)
+        workers = (
+            os.cpu_count() or 1
+            if n_workers_available is None
+            else int(n_workers_available)
+        )
+        predictions: Dict[str, float] = {}
+        for config in self._candidates(e, workers, chunked, fixed_layout):
+            cost = self.predict(config, n, e, k)
+            if config.startswith("parallel:") and workers < self.parallel_workers:
+                # The parallel coefficients were measured at the full
+                # calibrated worker count; with fewer workers each one owns
+                # proportionally more rows, so scale the variable part
+                # linearly (conservative — bandwidth saturation means the
+                # true penalty is usually smaller, so this never makes a
+                # capped parallel run look faster than it is).
+                coeff = self.coefficients[config]
+                variable = cost - coeff["fixed_s"]
+                cost = coeff["fixed_s"] + variable * (self.parallel_workers / workers)
+            predictions[config] = cost
+        if not predictions:  # pragma: no cover - defensive (coeffs always present)
+            fallback = f"vectorized:{fixed_layout or 'none'}"
+            predictions = {fallback: self.predict(fallback, n, e, k)}
+        best = min(predictions, key=predictions.get)
+        backend, _, layout = best.partition(":")
+        return ExecutionChoice(
+            backend=backend,
+            layout=layout,
+            n_workers=min(workers, self.parallel_workers) if backend == "parallel" else None,
+            chunk_edges=chunk_edges,
+            predicted_s=predictions[best],
+            source=self.source,
+            predictions=predictions,
+        )
+
+    def choose_layout(
+        self, n_vertices: int, n_edges: int, n_classes: int, *, chunked: bool = False
+    ) -> str:
+        """The best *layout* for the single-core vectorized kernel.
+
+        What ``graph.plan(K, layout="auto")`` resolves through: the layout
+        decision alone, independent of the backend choice (chunked plans
+        only support ``"none"``/``"sorted"``).
+        """
+        layouts = ("none", "sorted") if chunked else ("none", "sorted", "blocked")
+        best, best_cost = "none", float("inf")
+        for layout in layouts:
+            cost = self.predict(f"vectorized:{layout}", n_vertices, n_edges, n_classes)
+            if cost < best_cost:
+                best, best_cost = layout, cost
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CostModel(source={self.source!r}, "
+            f"configs={sorted(self.coefficients)})"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Process-wide model (loaded once, warn-once fallback)
+# --------------------------------------------------------------------------- #
+_MODEL: Optional[CostModel] = None
+_WARNED = False
+
+
+def _fallback(reason: str) -> CostModel:
+    global _WARNED
+    if not _WARNED:
+        _WARNED = True
+        warnings.warn(
+            f"repro.tune: {reason}; using built-in default cost coefficients. "
+            "Run `python -m repro.tune` once to calibrate this machine "
+            f"(cache: {tune_cache_path()}).",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    return CostModel.from_calibration(DEFAULT_CALIBRATION, source="default")
+
+
+def get_cost_model(*, refresh: bool = False) -> CostModel:
+    """The process-wide :class:`CostModel` (calibration cache or defaults).
+
+    Loaded once and memoised; ``refresh=True`` re-reads the cache (after
+    running a calibration in-process, for instance).  Absent or stale
+    caches fall back to :data:`DEFAULT_CALIBRATION` with a single
+    :class:`RuntimeWarning` — never an error.
+    """
+    global _MODEL
+    if _MODEL is not None and not refresh:
+        return _MODEL
+    data = load_calibration()
+    if data is None:
+        _MODEL = _fallback(f"no calibration cache at {tune_cache_path()}")
+        return _MODEL
+    reason = calibration_staleness(data)
+    if reason is not None:
+        _MODEL = _fallback(f"calibration cache is stale ({reason})")
+        return _MODEL
+    _MODEL = CostModel.from_calibration(data)
+    return _MODEL
+
+
+def reset_cost_model() -> None:
+    """Drop the memoised model and re-arm the fallback warning (tests)."""
+    global _MODEL, _WARNED
+    _MODEL = None
+    _WARNED = False
+
+
+def auto_layout(
+    n_vertices: int, n_edges: int, n_classes: int, *, chunked: bool = False
+) -> str:
+    """Resolve ``layout="auto"`` for one ``(n, E, K)`` through the model."""
+    return get_cost_model().choose_layout(
+        n_vertices, n_edges, n_classes, chunked=chunked
+    )

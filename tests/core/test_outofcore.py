@@ -53,7 +53,7 @@ def store(case, tmp_path_factory):
 
 
 def test_chunked_backend_set_is_declared():
-    assert CHUNKED_BACKENDS == ["parallel", "sparse", "vectorized"]
+    assert CHUNKED_BACKENDS == ["auto", "parallel", "sparse", "vectorized"]
 
 
 # --------------------------------------------------------------------------- #

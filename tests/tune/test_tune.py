@@ -1,0 +1,255 @@
+"""The adaptive execution layer: cost model, calibration cache, auto backend."""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import tune
+from repro.backends import backend_capabilities, get_backend
+from repro.core import gee_python
+from repro.graph import Graph, planted_partition
+from repro.labels import mask_labels
+from repro.tune import (
+    CostModel,
+    ExecutionChoice,
+    calibration_staleness,
+    get_cost_model,
+    load_calibration,
+    reset_cost_model,
+    save_calibration,
+    tune_cache_path,
+)
+from repro.tune.calibration import SCHEMA_VERSION
+
+
+@pytest.fixture
+def tune_dir(tmp_path, monkeypatch):
+    """Point the calibration cache at a private directory, reset the model."""
+    monkeypatch.setenv("REPRO_TUNE_DIR", str(tmp_path))
+    reset_cost_model()
+    yield tmp_path
+    reset_cost_model()
+
+
+def _synthetic_payload(**overrides):
+    import os
+
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "cpu_count": os.cpu_count(),
+        "parallel_workers": 0,
+        "coefficients": {
+            "vectorized:none": {"fixed_s": 1e-5, "per_edge_s": 3e-8, "per_cell_s": 2e-9},
+            "vectorized:sorted": {"fixed_s": 1e-5, "per_edge_s": 1e-8, "per_cell_s": 2e-9},
+            "vectorized:blocked": {"fixed_s": 1e-5, "per_edge_s": 2e-8, "per_cell_s": 2e-9},
+            "sparse:none": {"fixed_s": 2e-5, "per_edge_s": 5e-8, "per_cell_s": 2e-8},
+            "python:none": {"fixed_s": 0.0, "per_edge_s": 1e-6, "per_cell_s": 0.0},
+        },
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestCacheLifecycle:
+    def test_cache_path_honours_override(self, tune_dir):
+        assert tune_cache_path() == tune_dir / "tune.json"
+
+    def test_missing_cache_warns_once_and_falls_back(self, tune_dir):
+        with warnings.catch_warnings(record=True) as rec:
+            warnings.simplefilter("always")
+            model = get_cost_model()
+            again = get_cost_model()
+        assert model.source == "default"
+        assert again is model
+        tune_warnings = [w for w in rec if "calibration" in str(w.message)]
+        assert len(tune_warnings) == 1
+
+    def test_corrupt_cache_warns_not_errors(self, tune_dir):
+        tune_cache_path().parent.mkdir(parents=True, exist_ok=True)
+        tune_cache_path().write_text("{not json")
+        with warnings.catch_warnings(record=True):
+            warnings.simplefilter("always")
+            model = get_cost_model()
+        assert model.source == "default"
+
+    def test_stale_schema_warns_not_errors(self, tune_dir):
+        save_calibration(_synthetic_payload(schema=SCHEMA_VERSION + 99))
+        with warnings.catch_warnings(record=True) as rec:
+            warnings.simplefilter("always")
+            model = get_cost_model()
+        assert model.source == "default"
+        assert any("stale" in str(w.message) for w in rec)
+
+    def test_fresh_cache_is_used(self, tune_dir):
+        save_calibration(_synthetic_payload())
+        model = get_cost_model()
+        assert model.source == "calibrated"
+        assert calibration_staleness(load_calibration()) is None
+
+    def test_cpu_count_mismatch_is_stale(self, tune_dir):
+        data = _synthetic_payload(cpu_count=99999)
+        assert calibration_staleness(data) is not None
+
+    def test_save_load_round_trip(self, tune_dir):
+        path = save_calibration(_synthetic_payload())
+        assert json.loads(path.read_text())["schema"] == SCHEMA_VERSION
+        assert load_calibration()["coefficients"]["vectorized:sorted"]
+
+
+class TestCalibration:
+    def test_calibrate_fits_and_round_trips(self, tune_dir, monkeypatch):
+        """A real (tiny) calibration run: measure, fit, persist, choose."""
+        from repro.tune import calibration
+
+        monkeypatch.setattr(
+            calibration, "DESIGN_POINTS", ((64, 256), (64, 2048), (512, 2048))
+        )
+        data = tune.calibrate(repeats=1, include_parallel=False)
+        assert data["schema"] == SCHEMA_VERSION
+        for config in ("vectorized:none", "vectorized:sorted", "vectorized:blocked",
+                       "sparse:none", "python:none"):
+            coeff = data["coefficients"][config]
+            assert coeff["per_edge_s"] >= 0 and coeff["fixed_s"] >= 0
+        # The interpreted loop must be orders of magnitude above vectorized.
+        assert (
+            data["coefficients"]["python:none"]["per_edge_s"]
+            > 10 * data["coefficients"]["vectorized:none"]["per_edge_s"]
+        )
+        save_calibration(data)
+        reset_cost_model()
+        model = get_cost_model()
+        assert model.source == "calibrated"
+        choice = model.choose(10_000, 200_000, 32)
+        assert choice.backend in ("vectorized", "sparse")
+
+
+class TestCostModel:
+    def _model(self, **overrides):
+        return CostModel.from_calibration(_synthetic_payload(**overrides))
+
+    def test_choose_returns_full_choice(self):
+        choice = self._model().choose(10_000, 100_000, 32)
+        assert isinstance(choice, ExecutionChoice)
+        assert choice.backend == "vectorized" and choice.layout == "sorted"
+        assert choice.config in choice.predictions
+        assert choice.predicted_s == min(choice.predictions.values())
+
+    def test_python_never_wins_at_scale(self):
+        model = self._model()
+        # Make the interpreted loop look absurdly cheap; the candidacy cap
+        # must still exclude it beyond toy edge counts.
+        model.coefficients["python:none"] = {
+            "fixed_s": 0.0,
+            "per_edge_s": 1e-12,
+            "per_cell_s": 0.0,
+        }
+        choice = model.choose(100_000, 1_000_000, 50)
+        assert choice.backend != "python"
+
+    def test_parallel_requires_workers_and_calibration(self):
+        model = self._model(
+            parallel_workers=8,
+            coefficients={
+                **_synthetic_payload()["coefficients"],
+                "parallel:sorted": {
+                    "fixed_s": 1e-4,
+                    "per_edge_s": 1e-9,
+                    "per_cell_s": 1e-10,
+                },
+            },
+        )
+        big = model.choose(200_000, 5_000_000, 50, n_workers_available=8)
+        assert big.backend == "parallel" and big.n_workers == 8
+        serial_only = model.choose(200_000, 5_000_000, 50, n_workers_available=1)
+        assert serial_only.backend != "parallel"
+        uncalibrated = self._model().choose(200_000, 5_000_000, 50, n_workers_available=8)
+        assert uncalibrated.backend != "parallel"
+
+    def test_chunked_restricts_candidates(self):
+        choice = self._model().choose(10_000, 100_000, 32, chunked=True, chunk_edges=512)
+        assert choice.config in ("vectorized:none", "vectorized:sorted", "sparse:none")
+        assert choice.chunk_edges == 512
+
+    def test_choose_layout_matches_vectorized_ranking(self):
+        model = self._model()
+        assert model.choose_layout(10_000, 100_000, 32) == "sorted"
+        # With a tiny graph the fixed terms tie; any declared layout is fine.
+        assert model.choose_layout(5, 4, 2) in ("none", "sorted", "blocked")
+
+    def test_choice_to_dict_is_jsonable(self):
+        choice = self._model().choose(1000, 5000, 8)
+        json.dumps(choice.to_dict())
+
+
+class TestAutoBackend:
+    @pytest.fixture(scope="class")
+    def seeded(self):
+        edges, truth = planted_partition(260, 4, 0.1, 0.01, seed=5)
+        y = mask_labels(truth, 0.3, seed=5)
+        return edges, y
+
+    def test_capabilities(self):
+        caps = backend_capabilities("auto")
+        assert caps.supports_chunked and caps.supports_incremental
+        assert caps.supports_layout and caps.deterministic
+
+    def test_embed_matches_reference_and_logs_choice(self, tune_dir, seeded):
+        edges, y = seeded
+        reference = gee_python(edges, y, 4).embedding
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            result = get_backend("auto").embed(Graph.coerce(edges), y, 4)
+        np.testing.assert_allclose(result.embedding, reference, atol=1e-10)
+        choice = result.execution_choice
+        assert isinstance(choice, ExecutionChoice)
+        assert choice.backend in ("vectorized", "sparse", "parallel", "python")
+
+    def test_embed_with_plan_can_relayout(self, tune_dir, seeded):
+        save_calibration(_synthetic_payload())  # sorted is cheapest
+        edges, y = seeded
+        graph = Graph.coerce(edges)
+        plan = graph.plan(4)  # layout-preserving default plan
+        result = get_backend("auto").embed_with_plan(plan, y)
+        assert result.execution_choice.layout == "sorted"
+        assert result.layout == "sorted"
+        np.testing.assert_allclose(
+            result.embedding, gee_python(edges, y, 4).embedding, atol=1e-10
+        )
+
+    def test_estimator_roundtrip(self, tune_dir, seeded):
+        from repro import GraphEncoderEmbedding
+
+        edges, y = seeded
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            model = GraphEncoderEmbedding(method="auto").fit(edges, y)
+        np.testing.assert_allclose(
+            model.embedding_, gee_python(edges, y, 4).embedding, atol=1e-10
+        )
+        assert model.result_.execution_choice is not None
+
+    def test_incremental_embedding_accepts_auto(self, tune_dir, seeded):
+        from repro.core.gee_vectorized import gee_vectorized
+        from repro.stream import DynamicGraph, IncrementalEmbedding
+
+        edges, truth = planted_partition(150, 3, 0.1, 0.01, seed=6)
+        dynamic = DynamicGraph(edges)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            live = IncrementalEmbedding(dynamic, truth, 3, backend="auto")
+            rng = np.random.default_rng(1)
+            dynamic.add_edges(rng.integers(0, 150, 40), rng.integers(0, 150, 40)).commit()
+            report = live.update()
+        assert report.version_to == 1
+        fresh = gee_vectorized(dynamic.graph.edges, truth, 3).embedding
+        np.testing.assert_allclose(live.embedding, fresh, atol=1e-10)
+
+    def test_auto_layout_plan_request(self, tune_dir, seeded):
+        save_calibration(_synthetic_payload())
+        edges, _ = seeded
+        plan = Graph.coerce(edges).plan(4, layout="auto")
+        assert plan.layout in ("none", "sorted", "blocked")
