@@ -76,7 +76,17 @@ def main(argv=None) -> int:
             )
         )
         print(f"  {record.label}: best={record.best*1e3:.2f}ms")
-    write_bench_json("ablation_atomics", entries)
+    write_bench_json(
+        "ablation_atomics",
+        entries,
+        gates=[
+            {
+                "kind": "informational",
+                "reason": "ablation study (atomics on/off); measured "
+                "reference rows, no cross-run comparison",
+            }
+        ],
+    )
     return 0
 
 

@@ -144,7 +144,17 @@ def main(argv=None) -> int:
             bench_entry(record, n=N_VERTICES, E=None, K=N_CLASSES, strategy=label)
         )
         print(f"  {record.label}: best={record.best*1e3:.2f}ms")
-    write_bench_json("ablation_init", entries)
+    write_bench_json(
+        "ablation_init",
+        entries,
+        gates=[
+            {
+                "kind": "informational",
+                "reason": "ablation study (initialisation variants); no "
+                "cross-run comparison",
+            }
+        ],
+    )
     return 0
 
 

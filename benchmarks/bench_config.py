@@ -149,8 +149,66 @@ def bench_entry(
     return entry
 
 
+#: Keys every result entry must carry (what :func:`bench_entry` emits).
+#: ``check_regression.py`` silently skips rows missing the fields it
+#: filters on, so a malformed entry looks "collected" while gating nothing
+#: — validated here instead, at write time.
+REQUIRED_ENTRY_KEYS = frozenset(
+    {
+        "label",
+        "graph",
+        "backend",
+        "n",
+        "E",
+        "K",
+        "n_workers",
+        "layout",
+        "best_s",
+        "mean_s",
+        "n_samples",
+        "per_edge_ns",
+    }
+)
+
+#: Allowed ``kind`` values of a gate declaration (see ``write_bench_json``).
+GATE_KINDS = frozenset({"per-edge", "speedup", "informational"})
+
+
+def _validate_gates(gates: List[Dict]) -> List[Dict]:
+    if not isinstance(gates, (list, tuple)) or not gates:
+        raise ValueError(
+            "write_bench_json requires a non-empty gates=[...] list: every "
+            "benchmark must declare which regression gate its numbers feed "
+            "(use kind='informational' for ablation studies CI does not "
+            "compare)"
+        )
+    for gate in gates:
+        if not isinstance(gate, dict) or gate.get("kind") not in GATE_KINDS:
+            raise ValueError(
+                f"each gate must be a dict with kind in {sorted(GATE_KINDS)}; "
+                f"got {gate!r}"
+            )
+    return list(gates)
+
+
+def _validate_entries(entries: List[Dict]) -> None:
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise ValueError(f"entry {i} is not a dict: {entry!r}")
+        missing = sorted(REQUIRED_ENTRY_KEYS - set(entry))
+        if missing:
+            raise ValueError(
+                f"entry {i} ({entry.get('label')!r}) is missing required "
+                f"schema keys {missing}; build entries with bench_entry()"
+            )
+
+
 def write_bench_json(
-    name: str, entries: List[Dict], *, extra: Optional[Dict] = None
+    name: str,
+    entries: List[Dict],
+    *,
+    gates: List[Dict],
+    extra: Optional[Dict] = None,
 ) -> Path:
     """Write ``BENCH_<name>.json`` and return its path.
 
@@ -158,8 +216,25 @@ def write_bench_json(
     location); set ``REPRO_BENCH_OUTPUT_DIR`` to write elsewhere — the CI
     regression gate uses that to produce a fresh measurement without
     clobbering the checked-out baseline it compares against.
+
+    ``gates`` is required: a list of gate declarations recording how these
+    numbers are (or deliberately are not) compared across runs.  Each gate
+    is a dict with ``kind``:
+
+    * ``"per-edge"`` — ``check_regression.py --backend B --factor F``
+      compares ``per_edge_ns`` against a committed baseline file;
+    * ``"speedup"`` — ``check_regression.py --speedup FAST:SLOW`` enforces
+      a within-file wall-clock ratio floor;
+    * ``"informational"`` — measured reference rows with no CI comparison
+      (ablation studies); include a ``reason``.
+
+    Entries are validated against :data:`REQUIRED_ENTRY_KEYS` so a
+    hand-rolled row cannot silently produce a file the regression harness
+    skips.
     """
+    _validate_entries(entries)
     payload: Dict = {
+        "gates": _validate_gates(gates),
         "schema": 1,
         "benchmark": name,
         "git_sha": git_sha(),

@@ -85,7 +85,17 @@ def main(argv=None) -> int:
         entry["normalized_to_vectorized"] = (
             entry["best_s"] / base if base > 0 else float("nan")
         )
-    write_bench_json("fig2_normalized", entries)
+    write_bench_json(
+        "fig2_normalized",
+        entries,
+        gates=[
+            {
+                "kind": "informational",
+                "reason": "paper-figure reproduction (Fig. 2 normalised "
+                "times); no cross-run comparison",
+            }
+        ],
+    )
     return 0
 
 

@@ -109,7 +109,17 @@ def main(argv=None) -> int:
                 )
             )
             print(f"  {record.label}: best={record.best*1e3:.2f}ms")
-    write_bench_json("fig4_er_sweep", entries)
+    write_bench_json(
+        "fig4_er_sweep",
+        entries,
+        gates=[
+            {
+                "kind": "informational",
+                "reason": "paper-figure reproduction (Fig. 4 ER sweep); no "
+                "cross-run comparison",
+            }
+        ],
+    )
     return 0
 
 

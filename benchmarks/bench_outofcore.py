@@ -134,7 +134,19 @@ def main(argv=None) -> int:
                         f"({E / record.best / 1e6:.1f} M edges/s, "
                         f"{record.best / baseline.best:.2f}x in-memory)"
                     )
-    write_bench_json("outofcore", entries, extra={"peak_rss_bytes": _peak_rss_bytes()})
+    write_bench_json(
+        "outofcore",
+        entries,
+        gates=[
+            {
+                "kind": "informational",
+                "reason": "chunked-vs-in-memory exactness is asserted "
+                "in-script (atol=1e-12); CI smoke-runs it at tiny chunk "
+                "sizes",
+            }
+        ],
+        extra={"peak_rss_bytes": _peak_rss_bytes()},
+    )
     return 0
 
 

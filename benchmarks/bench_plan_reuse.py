@@ -117,7 +117,21 @@ def main(argv=None) -> int:
             f"  {name}: cold={cold.best*1e3:.2f}ms plan={warm.best*1e3:.2f}ms "
             f"speedup={speedups[name]:.2f}x"
         )
-    write_bench_json("plan_reuse", entries, extra={"plan_speedups": speedups})
+    write_bench_json(
+        "plan_reuse",
+        entries,
+        gates=[
+            {
+                "kind": "speedup",
+                "fast": "vectorized/plan-sorted",
+                "slow": "vectorized/cold",
+                "min_speedup": 2,
+                "ci": "check_regression.py --speedup "
+                "vectorized/plan-sorted:vectorized/cold --min-speedup 2",
+            }
+        ],
+        extra={"plan_speedups": speedups},
+    )
     return 0
 
 

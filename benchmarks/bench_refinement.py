@@ -168,6 +168,14 @@ def main(argv=None) -> int:
     write_bench_json(
         "refinement",
         entries,
+        gates=[
+            {
+                "kind": "informational",
+                "reason": "CI smoke-runs the script (crash/exactness "
+                "coverage); the delta speedup is reported in extra, not "
+                "compared across runs",
+            }
+        ],
         extra={
             "delta_speedup": speedup,
             "max_embedding_deviation": max_dev,

@@ -212,6 +212,16 @@ def main(argv=None) -> int:
     write_bench_json(
         "stream",
         entries,
+        gates=[
+            {
+                "kind": "speedup",
+                "fast": "incremental-update",
+                "slow": "refit",
+                "min_speedup": 3,
+                "ci": "check_regression.py --speedup incremental-update:refit "
+                "--min-speedup 3 (full-scale baseline shows >5x)",
+            }
+        ],
         extra={
             "n_batches": args.batches,
             "churn_per_batch": churn_fraction,

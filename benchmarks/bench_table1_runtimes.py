@@ -130,7 +130,19 @@ def main(argv=None) -> int:
                 )
             )
             print(f"  {record.label}: best={record.best*1e3:.2f}ms")
-    write_bench_json(args.json_name, entries)
+    write_bench_json(
+        args.json_name,
+        entries,
+        gates=[
+            {
+                "kind": "per-edge",
+                "backend": "vectorized",
+                "factor": 1.5,
+                "baseline": "BENCH_table1_smoke.json",
+                "ci": "check_regression.py --backend vectorized --factor 1.5",
+            }
+        ],
+    )
     return 0
 
 

@@ -1,0 +1,158 @@
+"""``python -m repro.analysis`` — the static-analysis CLI.
+
+Walks the given paths (default: ``src/repro`` and ``benchmarks`` under the
+current directory, whichever exist), runs every registered rule, and
+prints findings as text or JSON.  Exit status is non-zero when any finding
+at or above ``--fail-on`` severity remains, so CI can gate on it::
+
+    python -m repro.analysis src/repro benchmarks --format json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .engine import analyze_paths
+from .findings import Finding, Severity
+from .registry import all_rules, list_rules
+
+__all__ = ["main"]
+
+_JSON_SCHEMA_VERSION = 1
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Project-specific static analysis for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to analyze (default: src/repro and "
+        "benchmarks under the current directory, whichever exist)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "info"),
+        default="warning",
+        help="minimum severity that causes a non-zero exit (default: warning)",
+    )
+    parser.add_argument(
+        "--include-suppressed",
+        action="store_true",
+        help="also report findings silenced by # repro: ignore[...] comments",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="also write the report to FILE (same format as stdout)",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        metavar="DIR",
+        help="directory finding paths are reported relative to (default: cwd)",
+    )
+    return parser
+
+
+def _default_paths() -> List[str]:
+    candidates = [Path("src") / "repro", Path("benchmarks")]
+    found = [str(p) for p in candidates if p.exists()]
+    if not found:
+        raise SystemExit(
+            "no paths given and neither src/repro nor benchmarks exists here; "
+            "pass explicit paths"
+        )
+    return found
+
+
+def _render_text(findings: Sequence[Finding]) -> str:
+    if not findings:
+        return "repro.analysis: no findings\n"
+    lines = [f.render() for f in findings]
+    active = sum(1 for f in findings if not f.suppressed)
+    suppressed = len(findings) - active
+    tail = f"repro.analysis: {active} finding(s)"
+    if suppressed:
+        tail += f" (+{suppressed} suppressed)"
+    lines.append(tail)
+    return "\n".join(lines) + "\n"
+
+
+def _render_json(findings: Sequence[Finding], rule_names: Sequence[str]) -> str:
+    counts = {name.lower(): 0 for name in Severity.__members__}
+    for f in findings:
+        if not f.suppressed:
+            counts[f.severity.name.lower()] += 1
+    payload = {
+        "version": _JSON_SCHEMA_VERSION,
+        "rules": list(rule_names),
+        "counts": counts,
+        "findings": [f.to_dict() for f in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.name:22s} [{rule.severity.name.lower():7s}] {rule.description}")
+        return 0
+
+    rule_names = (
+        [name.strip() for name in args.rules.split(",") if name.strip()]
+        if args.rules
+        else None
+    )
+    paths = args.paths or _default_paths()
+    findings = analyze_paths(
+        paths,
+        rules=rule_names,
+        include_suppressed=args.include_suppressed,
+        root=args.root,
+    )
+
+    report = (
+        _render_json(findings, rule_names or list_rules())
+        if args.format == "json"
+        else _render_text(findings)
+    )
+    sys.stdout.write(report)
+    if args.output:
+        Path(args.output).write_text(report, encoding="utf-8")
+
+    threshold = Severity.parse(args.fail_on)
+    failing = [
+        f for f in findings if not f.suppressed and f.severity >= threshold
+    ]
+    return 1 if failing else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -1,0 +1,52 @@
+"""Source annotations consumed by the static-analysis pass.
+
+This module is a leaf on purpose: the kernels in :mod:`repro.core` /
+:mod:`repro.stream` import :func:`hot_path` from here, so it must not pull
+in the analyzer machinery (or anything else) at import time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, TypeVar, overload
+
+__all__ = ["hot_path", "is_hot_path"]
+
+F = TypeVar("F", bound=Callable)
+
+
+@overload
+def hot_path(fn: F) -> F: ...  # pragma: no cover - typing only
+
+
+@overload
+def hot_path(*, reason: str) -> Callable[[F], F]: ...  # pragma: no cover
+
+
+def hot_path(fn: Optional[F] = None, *, reason: Optional[str] = None):
+    """Mark a function as per-call hot-path code.
+
+    The decorator is a pure marker — it returns the function unchanged and
+    adds zero call overhead.  Its effect is entirely static: the
+    ``hot-path-alloc`` rule of :mod:`repro.analysis` lints the *source* of
+    every ``@hot_path`` function, rejecting ``np.add.at``, Python-level
+    loops over edge/vertex-sized data, and O(E)/O(n·K) temporary
+    allocations that are not routed through a plan's reused buffers.
+
+    ``reason`` optionally records why the function is hot (shown by
+    tooling; e.g. ``@hot_path(reason="per-edge scatter kernel")``).
+    """
+
+    def mark(func: F) -> F:
+        func.__repro_hot_path__ = True  # type: ignore[attr-defined]
+        if reason is not None:
+            func.__repro_hot_path_reason__ = reason  # type: ignore[attr-defined]
+        return func
+
+    if fn is not None:
+        return mark(fn)
+    return mark
+
+
+def is_hot_path(fn: Callable) -> bool:
+    """Whether ``fn`` (or the function under ``functools.wraps``) is marked."""
+    return bool(getattr(fn, "__repro_hot_path__", False))

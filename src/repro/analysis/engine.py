@@ -1,0 +1,180 @@
+"""The analysis engine: file discovery, parsing, rule dispatch, suppression.
+
+:func:`analyze_paths` is the embeddable entry point (the CLI in
+``__main__`` and the test suite both call it): walk the given files and
+directories, parse every ``*.py`` once, run the selected rules, apply
+``# repro: ignore[...]`` suppressions, and return the findings sorted by
+location.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from .findings import Finding, Severity
+from .registry import Rule, all_rules
+from .suppressions import SuppressionIndex
+
+__all__ = ["SourceModule", "Project", "analyze_paths", "iter_python_files"]
+
+PathLike = Union[str, Path]
+
+
+class SourceModule:
+    """One parsed source file handed to file-scoped rules."""
+
+    def __init__(self, path: Path, rel_path: str, source: str) -> None:
+        self.path = path
+        self.rel_path = rel_path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        self.suppressions = SuppressionIndex(self.lines)
+
+    @property
+    def name(self) -> str:
+        return self.path.name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<SourceModule {self.rel_path}>"
+
+
+class Project:
+    """The whole analyzed file set, handed to project-scoped rules."""
+
+    def __init__(self, root: Path, modules: Sequence[SourceModule]) -> None:
+        self.root = root
+        self.modules = list(modules)
+        self._by_resolved: Dict[Path, SourceModule] = {
+            m.path.resolve(): m for m in self.modules
+        }
+
+    def module_for(self, path: PathLike) -> Optional[SourceModule]:
+        return self._by_resolved.get(Path(path).resolve())
+
+    def relativize(self, path: PathLike) -> str:
+        """Repo-relative display path for ``path`` (falls back to absolute)."""
+        resolved = Path(path).resolve()
+        try:
+            return str(resolved.relative_to(self.root))
+        except ValueError:
+            return str(resolved)
+
+
+def iter_python_files(paths: Iterable[PathLike]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``*.py`` list."""
+    seen = set()
+    out: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise FileNotFoundError(f"analysis path does not exist: {path}")
+        if path.is_file():
+            candidates = [path] if path.suffix == ".py" else []
+        else:
+            candidates = sorted(
+                p for p in path.rglob("*.py") if "__pycache__" not in p.parts
+            )
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                out.append(candidate)
+    return out
+
+
+def _parse_modules(
+    files: Sequence[Path], root: Path
+) -> tuple[List[SourceModule], List[Finding]]:
+    modules: List[SourceModule] = []
+    errors: List[Finding] = []
+    for path in files:
+        rel = _relativize(path, root)
+        try:
+            source = path.read_text(encoding="utf-8")
+            modules.append(SourceModule(path, rel, source))
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            line = getattr(exc, "lineno", 1) or 1
+            errors.append(
+                Finding(
+                    rule="parse-error",
+                    severity=Severity.ERROR,
+                    path=rel,
+                    line=int(line),
+                    message=f"could not parse file: {exc.__class__.__name__}: {exc}",
+                )
+            )
+    return modules, errors
+
+
+def _relativize(path: Path, root: Path) -> str:
+    try:
+        return str(path.resolve().relative_to(root))
+    except ValueError:
+        return str(path)
+
+
+def analyze_paths(
+    paths: Sequence[PathLike],
+    *,
+    rules: Optional[Union[Sequence[str], Sequence[Rule]]] = None,
+    include_suppressed: bool = False,
+    root: Optional[PathLike] = None,
+) -> List[Finding]:
+    """Run the analysis rules over ``paths`` and return sorted findings.
+
+    Parameters
+    ----------
+    paths:
+        Files and/or directories; directories are walked recursively for
+        ``*.py`` (skipping ``__pycache__``).
+    rules:
+        Rule names (strings) or already-instantiated :class:`Rule` objects;
+        ``None`` runs every registered rule.
+    include_suppressed:
+        Keep findings covered by ``# repro: ignore[...]`` comments in the
+        returned list (marked ``suppressed=True``) instead of dropping them.
+    root:
+        Directory findings paths are reported relative to (default: the
+        current working directory).
+    """
+    root_path = Path.cwd() if root is None else Path(root)
+    root_path = root_path.resolve()
+
+    if rules is None or (rules and isinstance(rules[0], str)):
+        active = all_rules(rules)  # type: ignore[arg-type]
+    else:
+        active = list(rules)  # type: ignore[arg-type]
+
+    files = iter_python_files(paths)
+    modules, findings = _parse_modules(files, root_path)
+    project = Project(root_path, modules)
+
+    for rule in active:
+        if rule.scope == "file":
+            for module in modules:
+                if rule.applies_to(module):
+                    findings.extend(rule.check_module(module))
+        else:
+            findings.extend(rule.check_project(project))
+
+    resolved: List[Finding] = []
+    for finding in findings:
+        module = project.module_for(root_path / finding.path)
+        if module is None:
+            module = project.module_for(finding.path)
+        if module is not None and module.suppressions.is_suppressed(
+            finding.rule, finding.line
+        ):
+            finding.suppressed = True
+        finding.path = project.relativize(
+            finding.path
+            if Path(finding.path).is_absolute()
+            else root_path / finding.path
+        )
+        if include_suppressed or not finding.suppressed:
+            resolved.append(finding)
+    resolved.sort(key=Finding.sort_key)
+    return resolved

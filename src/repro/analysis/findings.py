@@ -1,0 +1,69 @@
+"""Finding and severity types shared by every analysis rule."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = ["Severity", "Finding"]
+
+
+class Severity(enum.IntEnum):
+    """Ordered severity levels; the CLI's ``--fail-on`` compares against it."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @classmethod
+    def parse(cls, name: str) -> "Severity":
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {name!r}; expected one of "
+                f"{[s.name.lower() for s in cls]}"
+            ) from None
+
+
+@dataclass
+class Finding:
+    """One rule violation at a source location.
+
+    ``path`` is stored repo-relative when the analyzed file lives under the
+    engine's root (portable across checkouts); ``suppressed`` is set by the
+    engine when a ``# repro: ignore[...]`` comment covers the finding.
+    """
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    message: str
+    col: int = 0
+    symbol: Optional[str] = None  #: function/class the finding is about
+    suppressed: bool = False
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> Dict:
+        out: Dict = {
+            "rule": self.rule,
+            "severity": self.severity.name.lower(),
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }
+        if self.symbol is not None:
+            out["symbol"] = self.symbol
+        return out
+
+    def render(self) -> str:
+        loc = f"{self.path}:{self.line}"
+        sym = f" ({self.symbol})" if self.symbol else ""
+        sup = " [suppressed]" if self.suppressed else ""
+        return f"{loc}: {self.severity.name.lower()}[{self.rule}]{sup}{sym}: {self.message}"

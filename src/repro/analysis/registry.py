@@ -1,0 +1,117 @@
+"""The analysis-rule registry: ``Rule`` base class and ``@register_rule``.
+
+Mirrors the shape of :mod:`repro.backends.registry` — rules are classes
+registered under a canonical kebab-case name, discoverable by tooling, and
+re-registering a taken name raises so a rule can never be shadowed
+silently.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Type
+
+from .findings import Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Project, SourceModule
+
+__all__ = ["Rule", "register_rule", "all_rules", "get_rule", "list_rules"]
+
+
+class Rule:
+    """Base class for one static-analysis rule.
+
+    File-scoped rules (``scope = "file"``) implement :meth:`check_module`
+    and run once per analyzed source file; project-scoped rules
+    (``scope = "project"``) implement :meth:`check_project` and run once
+    per invocation with the whole file set (used by checks that must
+    consult live runtime state, like the capability-contract rule).
+    """
+
+    #: Canonical kebab-case rule name; also the suppression token.
+    name: str = "abstract"
+    #: Default severity of this rule's findings.
+    severity: Severity = Severity.ERROR
+    #: One-line summary shown by ``--list-rules`` and the docs table.
+    description: str = ""
+    #: ``"file"`` or ``"project"``.
+    scope: str = "file"
+
+    def applies_to(self, module: "SourceModule") -> bool:
+        """Whether this (file-scoped) rule should run on ``module``."""
+        return True
+
+    def check_module(self, module: "SourceModule") -> Iterator[Finding]:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def check_project(self, project: "Project") -> Iterator[Finding]:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    # ------------------------------------------------------------------ #
+    def finding(
+        self,
+        path: str,
+        line: int,
+        message: str,
+        *,
+        col: int = 0,
+        symbol: Optional[str] = None,
+        severity: Optional[Severity] = None,
+    ) -> Finding:
+        return Finding(
+            rule=self.name,
+            severity=self.severity if severity is None else severity,
+            path=path,
+            line=line,
+            col=col,
+            message=message,
+            symbol=symbol,
+        )
+
+
+_RULES: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: install a :class:`Rule` subclass in the registry."""
+    if not (isinstance(cls, type) and issubclass(cls, Rule)):
+        raise TypeError(f"@register_rule requires a Rule subclass, got {cls!r}")
+    name = cls.name
+    if not name or name == "abstract":
+        raise ValueError("rule classes must set a canonical 'name'")
+    if name in _RULES:
+        raise ValueError(f"analysis rule {name!r} is already registered")
+    if cls.scope not in ("file", "project"):
+        raise ValueError(f"rule {name!r} has invalid scope {cls.scope!r}")
+    _RULES[name] = cls
+    return cls
+
+
+def list_rules() -> List[str]:
+    """Sorted canonical names of every registered rule."""
+    _ensure_builtin_rules()
+    return sorted(_RULES)
+
+
+def get_rule(name: str) -> Type[Rule]:
+    _ensure_builtin_rules()
+    try:
+        return _RULES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown analysis rule {name!r}; registered rules: {list_rules()}"
+        ) from None
+
+
+def all_rules(names: Optional[Iterable[str]] = None) -> List[Rule]:
+    """Instantiate the selected rules (all of them when ``names`` is None)."""
+    _ensure_builtin_rules()
+    if names is None:
+        return [cls() for _, cls in sorted(_RULES.items())]
+    return [get_rule(name)() for name in names]
+
+
+def _ensure_builtin_rules() -> None:
+    # Importing the rules package registers every built-in rule; done
+    # lazily so `repro.analysis.annotations` stays import-light.
+    from . import rules  # noqa: F401

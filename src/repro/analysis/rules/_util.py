@@ -1,0 +1,74 @@
+"""Small AST helpers shared by the built-in rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Union
+
+__all__ = [
+    "dotted_name",
+    "subtree_names",
+    "decorator_matches",
+    "iter_functions",
+    "walk_excluding_functions",
+]
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def subtree_names(node: ast.AST) -> Set[str]:
+    """Every identifier mentioned in ``node``: Name ids and Attribute attrs."""
+    names: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            names.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            names.add(sub.attr)
+        elif isinstance(sub, ast.arg):
+            names.add(sub.arg)
+    return names
+
+
+def decorator_matches(fn: FunctionNode, name: str) -> bool:
+    """Whether ``fn`` has a decorator named ``name`` (bare, dotted or called)."""
+    for dec in fn.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        dotted = dotted_name(target)
+        if dotted is not None and (dotted == name or dotted.endswith("." + name)):
+            return True
+    return False
+
+
+def iter_functions(tree: ast.AST) -> Iterator[FunctionNode]:
+    """Every (async) function definition in ``tree``, at any nesting depth."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def walk_excluding_functions(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``node`` without descending into nested function bodies.
+
+    Used for import-time checks: statements inside a function definition do
+    not execute at import, but module and class bodies do.
+    """
+    stack: List[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in ast.iter_child_nodes(current):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            stack.append(child)

@@ -1,0 +1,48 @@
+"""``no-add-at`` — ban the buffered-ufunc scatter path repo-wide.
+
+``np.add.at`` is the slow, buffered ufunc scatter: on this workload it
+measured 2-7x slower than the ``np.bincount``-based
+:func:`repro.core.gee_vectorized.scatter_add` (see
+``benchmarks/bench_ablation_scatter.py`` and the PR 2 ``_align_labels``
+fix).  Every scatter-accumulate in ``src/repro`` must route through
+``scatter_add`` (or a block-local ``np.bincount``); the few deliberate
+uses — the lock-striped bulk atomics, oracle/reference rows in tests and
+benchmarks — carry ``# repro: ignore[no-add-at]`` with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import Rule, register_rule
+from ._util import dotted_name
+
+__all__ = ["NoAddAtRule"]
+
+
+@register_rule
+class NoAddAtRule(Rule):
+    name = "no-add-at"
+    description = (
+        "np.add.at is the slow buffered-ufunc scatter; route through "
+        "repro.core.gee_vectorized.scatter_add (or np.bincount)"
+    )
+
+    def check_module(self, module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            if dotted.endswith("add.at") or dotted.endswith("subtract.at"):
+                yield self.finding(
+                    module.rel_path,
+                    node.lineno,
+                    f"{dotted}(...) uses the buffered-ufunc scatter path; use "
+                    "scatter_add / np.bincount, or justify with "
+                    "# repro: ignore[no-add-at]",
+                    col=node.col_offset,
+                )

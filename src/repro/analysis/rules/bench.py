@@ -1,0 +1,89 @@
+"""``bench-schema`` — benchmark scripts must emit the shared result schema.
+
+The regression harness (``benchmarks/check_regression.py``, the CI smoke
+job, the cross-run comparisons in ROADMAP experiments) only works when
+every ``benchmarks/bench_*.py`` writes its results through
+:func:`bench_config.write_bench_json`, which stamps ``git_sha``/
+``git_dirty``, validates the per-entry schema (``label``, ``backend``,
+``layout``, timing fields), and records the CI gate the script registers
+via the required ``gates=`` keyword.  A script that hand-rolls
+``json.dump`` produces files the harness silently skips — results that
+look collected but gate nothing.
+
+The rule checks, for each ``bench_*.py``:
+
+* at least one ``write_bench_json(...)`` call exists;
+* every such call passes a ``gates=`` keyword;
+* no raw ``json.dump``/``json.dumps`` result writes bypass the helper.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import Rule, register_rule
+from ._util import dotted_name
+
+__all__ = ["BenchSchemaRule"]
+
+#: Infrastructure files in benchmarks/ the rule does not apply to.
+_EXCLUDED = frozenset({"bench_config.py", "conftest.py", "check_regression.py"})
+
+
+@register_rule
+class BenchSchemaRule(Rule):
+    name = "bench-schema"
+    description = (
+        "benchmarks/bench_*.py must write results via "
+        "bench_config.write_bench_json(..., gates=[...]) — no raw json.dump"
+    )
+
+    def applies_to(self, module) -> bool:
+        return (
+            module.name.startswith("bench_")
+            and module.name.endswith(".py")
+            and module.name not in _EXCLUDED
+        )
+
+    def check_module(self, module) -> Iterator[Finding]:
+        writer_calls = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            leaf = dotted.rsplit(".", 1)[-1]
+            if leaf == "write_bench_json":
+                writer_calls.append(node)
+            elif dotted in ("json.dump", "json.dumps"):
+                yield self.finding(
+                    module.rel_path,
+                    node.lineno,
+                    f"{dotted}(...) bypasses write_bench_json; the regression "
+                    "harness only reads files carrying the shared schema "
+                    "(git_sha, layout, gates)",
+                    col=node.col_offset,
+                )
+
+        if not writer_calls:
+            yield self.finding(
+                module.rel_path,
+                1,
+                "benchmark script never calls write_bench_json; results are "
+                "invisible to check_regression.py and the CI smoke gate",
+            )
+            return
+
+        for call in writer_calls:
+            if not any(kw.arg == "gates" for kw in call.keywords):
+                yield self.finding(
+                    module.rel_path,
+                    call.lineno,
+                    "write_bench_json call without gates=[...]; every "
+                    "benchmark must declare which regression gate its "
+                    "numbers feed",
+                    col=call.col_offset,
+                )

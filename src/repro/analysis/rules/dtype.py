@@ -1,0 +1,76 @@
+"""``index-dtype`` — int32 narrowing must go through ``choose_index_dtype``.
+
+Flat scatter indices narrow to int32 only when ``n_vertices * n_classes``
+fits a signed 32-bit integer (:func:`repro.core.plan.choose_index_dtype`
+encodes the ``n*K < 2^31`` bound, computed in Python integers so the check
+itself cannot overflow).  A bare ``astype(np.int32)`` — or an int32-dtyped
+array constructor — silently truncates above the bound and corrupts the
+scatter, so any literal int32 request outside ``choose_index_dtype`` is
+flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..findings import Finding
+from ..registry import Rule, register_rule
+from ._util import dotted_name
+
+__all__ = ["IndexDtypeRule"]
+
+#: Constructors whose ``dtype=`` keyword is checked.
+_CONSTRUCTORS = frozenset(
+    {"zeros", "empty", "ones", "full", "arange", "array", "asarray", "ndarray"}
+)
+
+
+def _is_int32_literal(node: ast.AST) -> bool:
+    dotted = dotted_name(node)
+    if dotted in ("np.int32", "numpy.int32", "int32"):
+        return True
+    return isinstance(node, ast.Constant) and node.value == "int32"
+
+
+@register_rule
+class IndexDtypeRule(Rule):
+    name = "index-dtype"
+    description = (
+        "literal int32 casts/constructors bypass the n*K < 2^31 narrowing "
+        "rule; use repro.core.plan.choose_index_dtype"
+    )
+
+    def check_module(self, module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            flagged = self._int32_request(node)
+            if flagged is not None:
+                yield self.finding(
+                    module.rel_path,
+                    node.lineno,
+                    f"{flagged}: index dtypes must come from "
+                    "choose_index_dtype(n_vertices, n_classes) so int32 is "
+                    "only used when every flat index fits; justify deliberate "
+                    "narrow casts with # repro: ignore[index-dtype]",
+                    col=node.col_offset,
+                )
+
+    @staticmethod
+    def _int32_request(node: ast.Call) -> Optional[str]:
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            return None
+        leaf = dotted.rsplit(".", 1)[-1]
+        if leaf == "astype":
+            for candidate in list(node.args[:1]) + [
+                kw.value for kw in node.keywords if kw.arg == "dtype"
+            ]:
+                if _is_int32_literal(candidate):
+                    return "astype(np.int32)"
+        elif leaf in _CONSTRUCTORS:
+            for kw in node.keywords:
+                if kw.arg == "dtype" and _is_int32_literal(kw.value):
+                    return f"{leaf}(..., dtype=np.int32)"
+        return None

@@ -1,0 +1,111 @@
+"""``fork-safety`` — process-backend hygiene.
+
+Two failure modes this rule closes off:
+
+* **Import-time pools/segments.**  A ``ForkWorkerPool``/
+  ``ProcessPoolExecutor``/``SharedArraySet`` created at module import runs
+  in *every* process that imports the module — including the forked
+  workers themselves, which then recursively spawn pools or leak segments
+  that no teardown path owns.  All pool/segment creation must happen
+  inside a function, after ``if __name__ == "__main__"`` or behind an
+  explicit call.
+
+* **Lambdas shipped to workers.**  ``pickle`` cannot serialise lambdas, so
+  ``pool.map(lambda ...)`` / ``Process(target=lambda ...)`` dies at
+  dispatch time with an opaque ``PicklingError`` — and only on the
+  process backends, so it escapes thread-backend test runs.  Workers must
+  receive module-level functions (or ``functools.partial`` over them).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..findings import Finding
+from ..registry import Rule, register_rule
+from ._util import dotted_name, walk_excluding_functions
+
+__all__ = ["ForkSafetyRule", "PROCESS_RESOURCES", "WORKER_DISPATCH_METHODS"]
+
+#: Constructors that create processes or process-shared state.  Matched on
+#: the trailing name of the dotted call.
+PROCESS_RESOURCES = frozenset(
+    {
+        "SharedArraySet",
+        "SharedMemory",
+        "ForkWorkerPool",
+        "ProcessPoolExecutor",
+        "Pool",
+        "Process",
+    }
+)
+
+#: Methods that ship their callable argument to another process.
+WORKER_DISPATCH_METHODS = frozenset(
+    {"map", "imap", "imap_unordered", "starmap", "submit", "apply", "apply_async"}
+)
+
+
+def _resource_leaf(node: ast.Call) -> Optional[str]:
+    dotted = dotted_name(node.func)
+    if dotted is None:
+        return None
+    leaf = dotted.rsplit(".", 1)[-1]
+    return leaf if leaf in PROCESS_RESOURCES else None
+
+
+@register_rule
+class ForkSafetyRule(Rule):
+    name = "fork-safety"
+    description = (
+        "no pools/shared segments at module import time; no lambdas shipped "
+        "to process workers (unpicklable)"
+    )
+
+    def check_module(self, module) -> Iterator[Finding]:
+        yield from self._check_import_time(module)
+        yield from self._check_lambda_dispatch(module)
+
+    def _check_import_time(self, module) -> Iterator[Finding]:
+        for node in walk_excluding_functions(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            leaf = _resource_leaf(node)
+            if leaf is None:
+                continue
+            yield self.finding(
+                module.rel_path,
+                node.lineno,
+                f"{leaf}(...) at module import time runs in every process "
+                "that imports this module (including forked workers); create "
+                "it inside a function or under if __name__ == '__main__'",
+                col=node.col_offset,
+            )
+
+    def _check_lambda_dispatch(self, module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            # pool.map(lambda ...), executor.submit(lambda ...), ...
+            if isinstance(node.func, ast.Attribute) and (
+                node.func.attr in WORKER_DISPATCH_METHODS
+            ):
+                for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                    if isinstance(arg, ast.Lambda):
+                        yield self._lambda_finding(module, arg, node.func.attr)
+            # Process(target=lambda ...)
+            dotted = dotted_name(node.func)
+            if dotted is not None and dotted.rsplit(".", 1)[-1] == "Process":
+                for kw in node.keywords:
+                    if kw.arg == "target" and isinstance(kw.value, ast.Lambda):
+                        yield self._lambda_finding(module, kw.value, "Process(target=...)")
+
+    def _lambda_finding(self, module, node: ast.Lambda, where: str) -> Finding:
+        return self.finding(
+            module.rel_path,
+            node.lineno,
+            f"lambda passed to {where} cannot be pickled to a process "
+            "worker; use a module-level function (or functools.partial)",
+            col=node.col_offset,
+        )

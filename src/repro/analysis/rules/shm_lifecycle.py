@@ -1,0 +1,201 @@
+"""``shm-lifecycle`` — every created shared-memory segment must be released.
+
+POSIX shared memory outlives the process: a ``SharedMemory(create=True)``
+(or a ``SharedArraySet``) that is not closed *and unlinked* on every path —
+including the exception paths between creation and registration — leaks a
+``/dev/shm`` segment until reboot.  The rule accepts exactly the ownership
+patterns the codebase uses:
+
+* created as a context manager (``with SharedArraySet() as shm: ...``);
+* created into a local name that a ``finally`` block or ``except`` handler
+  in the same function closes/unlinks;
+* created and *returned* (ownership transfers to the caller, as
+  :func:`repro.parallel.shm.attach` does);
+* stored on ``self`` by a class that defines ``close``/``__exit__``/
+  ``__del__`` (instance-owned, e.g. ``SharedArraySet`` itself).
+
+Anything else — in particular a bare creation whose failure window has no
+handler — is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from ..findings import Finding
+from ..registry import Rule, register_rule
+from ._util import dotted_name, iter_functions
+
+__all__ = ["ShmLifecycleRule", "RESOURCE_CONSTRUCTORS"]
+
+#: Callables whose return value owns a shared-memory segment (or a set of
+#: them).  Matched on the trailing name so both ``SharedMemory(...)`` and
+#: ``shared_memory.SharedMemory(...)`` count.
+RESOURCE_CONSTRUCTORS = frozenset({"SharedMemory", "SharedArraySet"})
+
+_RELEASE_METHODS = frozenset({"close", "unlink"})
+_OWNER_METHODS = frozenset({"close", "__exit__", "__del__"})
+
+
+def _creator_leaf(node: ast.Call) -> Optional[str]:
+    dotted = dotted_name(node.func)
+    if dotted is None:
+        return None
+    leaf = dotted.rsplit(".", 1)[-1]
+    return leaf if leaf in RESOURCE_CONSTRUCTORS else None
+
+
+def _released_names(fn: ast.AST) -> Set[str]:
+    """Names ``x`` with an ``x.close()``/``x.unlink()`` call inside a
+    ``finally`` block or ``except`` handler of ``fn``."""
+    released: Set[str] = set()
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Try):
+            continue
+        regions: List[ast.AST] = list(node.finalbody)
+        for handler in node.handlers:
+            regions.extend(handler.body)
+        for region in regions:
+            for sub in ast.walk(region):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in _RELEASE_METHODS
+                    and isinstance(sub.func.value, ast.Name)
+                ):
+                    released.add(sub.func.value.id)
+    return released
+
+
+def _returned_names(fn: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Return) and node.value is not None:
+            for sub in ast.walk(node.value):
+                if isinstance(sub, ast.Name):
+                    names.add(sub.id)
+    return names
+
+
+def _is_self_storage(target: ast.AST) -> bool:
+    """``self.attr = ...`` or ``self.attr[key] = ...``."""
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    return (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+    )
+
+
+@register_rule
+class ShmLifecycleRule(Rule):
+    name = "shm-lifecycle"
+    description = (
+        "SharedMemory/SharedArraySet creations must be closed and unlinked "
+        "on all paths (with-statement, try/finally, ownership transfer)"
+    )
+
+    def check_module(self, module) -> Iterator[Finding]:
+        owning_classes = self._owning_classes(module.tree)
+        method_owner: Dict[ast.AST, str] = {}
+        for cls in ast.walk(module.tree):
+            if isinstance(cls, ast.ClassDef):
+                for stmt in cls.body:
+                    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        method_owner[stmt] = cls.name
+
+        seen: Set[int] = set()
+        for fn in iter_functions(module.tree):
+            with_calls = self._with_context_calls(fn)
+            released = _released_names(fn)
+            returned = _returned_names(fn)
+            cls_name = method_owner.get(fn)
+            self_owned = cls_name is not None and cls_name in owning_classes
+            for stmt in ast.walk(fn):
+                if isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Call):
+                    leaf = _creator_leaf(stmt.value)
+                    if leaf is None:
+                        continue
+                    if id(stmt.value) in seen or self._assignment_is_safe(
+                        stmt, released, returned, self_owned
+                    ):
+                        continue
+                    seen.add(id(stmt.value))
+                    yield self._leak(module, stmt.value, leaf, fn.name)
+                elif isinstance(stmt, ast.Call):
+                    leaf = _creator_leaf(stmt)
+                    if leaf is None or stmt in with_calls or id(stmt) in seen:
+                        continue
+                    if self._is_assigned_value(fn, stmt):
+                        continue
+                    seen.add(id(stmt))
+                    yield self._leak(module, stmt, leaf, fn.name, bare=True)
+
+    # ------------------------------------------------------------------ #
+    def _leak(self, module, node: ast.Call, leaf: str, fn_name: str, bare=False):
+        how = (
+            "is never bound to a name, so it can never be closed/unlinked"
+            if bare
+            else "has a path on which it is not closed/unlinked (use a with "
+            "statement, a try/finally, or close+unlink in an except handler "
+            "covering the window between creation and registration)"
+        )
+        return self.finding(
+            module.rel_path,
+            node.lineno,
+            f"{leaf}(...) {how}",
+            col=node.col_offset,
+            symbol=fn_name,
+        )
+
+    @staticmethod
+    def _with_context_calls(fn: ast.AST) -> Set[ast.AST]:
+        calls: Set[ast.AST] = set()
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    calls.add(item.context_expr)
+        return calls
+
+    @staticmethod
+    def _is_assigned_value(fn: ast.AST, call: ast.Call) -> bool:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign) and node.value is call:
+                return True
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if item.context_expr is call:
+                        return True
+        return False
+
+    @staticmethod
+    def _assignment_is_safe(
+        stmt: ast.Assign,
+        released: Set[str],
+        returned: Set[str],
+        self_owned: bool,
+    ) -> bool:
+        if len(stmt.targets) != 1:
+            return False
+        target = stmt.targets[0]
+        if _is_self_storage(target):
+            return self_owned
+        if isinstance(target, ast.Name):
+            return target.id in released or target.id in returned
+        return False
+
+    @staticmethod
+    def _owning_classes(tree: ast.AST) -> Set[str]:
+        owners: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                methods = {
+                    stmt.name
+                    for stmt in node.body
+                    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                }
+                if methods & _OWNER_METHODS:
+                    owners.add(node.name)
+        return owners

@@ -1,0 +1,66 @@
+"""Parsing of ``# repro: ignore[...]`` suppression comments.
+
+Two forms, both taking a comma-separated rule list (or ``*`` for all):
+
+* line suppression — ``# repro: ignore[RULE]`` on the finding's line or on
+  the line directly above it (the usual place when the flagged statement is
+  long).  A one-line justification after the bracket is encouraged::
+
+      np.add.at(arr, idx, v)  # repro: ignore[no-add-at] cold path, keeps the oracle exact
+
+* file suppression — ``# repro: ignore-file[RULE]`` anywhere in the file
+  (conventionally in the header comment) suppresses the rule file-wide.
+
+Suppressed findings are still produced by the rules; the engine marks them
+``suppressed=True`` and drops them from the default output, so
+``--include-suppressed`` can audit what the comments hide.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Sequence, Set
+
+__all__ = ["SuppressionIndex", "SUPPRESSION_RE"]
+
+SUPPRESSION_RE = re.compile(
+    r"#\s*repro:\s*(?P<form>ignore-file|ignore)\[(?P<rules>[^\]]*)\]"
+)
+
+
+def _parse_rules(raw: str) -> Set[str]:
+    return {part.strip() for part in raw.split(",") if part.strip()}
+
+
+class SuppressionIndex:
+    """Per-file index of suppression comments, built from raw source lines."""
+
+    def __init__(self, lines: Sequence[str]) -> None:
+        self.file_rules: Set[str] = set()
+        self.line_rules: Dict[int, Set[str]] = {}
+        for lineno, line in enumerate(lines, start=1):
+            for match in SUPPRESSION_RE.finditer(line):
+                rules = _parse_rules(match.group("rules"))
+                if not rules:
+                    continue
+                if match.group("form") == "ignore-file":
+                    self.file_rules |= rules
+                else:
+                    self.line_rules.setdefault(lineno, set()).update(rules)
+
+    def _covers(self, rules: Set[str], rule: str) -> bool:
+        return "*" in rules or rule in rules
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """Whether ``rule`` is suppressed at ``line`` (1-based).
+
+        A line suppression matches on the finding's own line or on the line
+        immediately above (a comment-only line preceding a long statement).
+        """
+        if self._covers(self.file_rules, rule):
+            return True
+        for candidate in (line, line - 1):
+            rules = self.line_rules.get(candidate)
+            if rules is not None and self._covers(rules, rule):
+                return True
+        return False

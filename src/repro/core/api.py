@@ -539,9 +539,8 @@ class GraphEncoderEmbedding:
         self._grow_stream_state(n_needed)
 
         # Accumulate the batch's raw (un-scaled) class sums: the shared
-        # vectorised kernel with unit scales computes S[u, Y[v]] += w
+        # vectorised kernel with scales=None computes S[u, Y[v]] += w
         # (negated weights retract a previously-ingested batch).
-        unit = np.ones(n_needed, dtype=np.float64)
         w = batch.effective_weights()
         accumulate_edges_vectorized(
             self._stream_sums_.reshape(-1),
@@ -549,7 +548,7 @@ class GraphEncoderEmbedding:
             batch.dst,
             -w if remove else w,
             self._stream_labels_,
-            unit,
+            None,
             k,
         )
         self._stream_touched_[batch.src] = True
@@ -608,10 +607,9 @@ class GraphEncoderEmbedding:
                     self._stream_labels_, k,
                 )
             else:
-                unit = np.ones(n_needed, dtype=np.float64)
                 accumulate_edges_vectorized(
                     self._stream_sums_.reshape(-1), src, dst, dw,
-                    self._stream_labels_, unit, k,
+                    self._stream_labels_, None, k,
                 )
             self._stream_touched_[src] = True
             self._stream_touched_[dst] = True

@@ -57,6 +57,7 @@ from ..parallel.pool import (
     fork_available,
     resolve_worker_count,
 )
+from ..analysis.annotations import hot_path
 from ..parallel.shm import SharedArrayHandle, SharedArraySet, attach_many
 from .gee_vectorized import scatter_add
 from .projection import projection_from_scales, projection_scales
@@ -73,6 +74,7 @@ __all__ = [
 ]
 
 
+@hot_path(reason="parallel O(Δ) incremental patch kernel")
 def patch_sums_parallel(
     S_flat: np.ndarray,
     src: np.ndarray,
@@ -116,6 +118,7 @@ def patch_sums_parallel(
         y_s = labels[s]
         known_d = y_d != UNKNOWN_LABEL
         known_s = y_s != UNKNOWN_LABEL
+        # repro: ignore[hot-path-alloc] O(Δ) slab temporaries, not O(E): the slab is a delta slice
         flat = np.concatenate(
             (s[known_d] * k + y_d[known_d], d[known_s] * k + y_s[known_s])
         )
@@ -129,6 +132,7 @@ def patch_sums_parallel(
     scatter_add(S_flat, flat, contrib)
 
 
+@hot_path(reason="owner-computes row kernel run by every forked worker")
 def owner_rows_accumulate(
     row_lo: int,
     row_hi: int,
@@ -153,6 +157,7 @@ def owner_rows_accumulate(
     """
     n_rows = row_hi - row_lo
     if out is None:
+        # repro: ignore[hot-path-alloc] per-worker private row block; callers pass out= to reuse it
         block = np.zeros(n_rows * n_classes, dtype=np.float64)
     else:
         block = out

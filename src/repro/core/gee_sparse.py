@@ -26,6 +26,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..analysis.annotations import hot_path
 from ..graph.facade import Graph
 from .projection import projection_from_scales, projection_scales
 from .result import EmbeddingResult
@@ -46,6 +47,7 @@ def _product(A, A_T, W: np.ndarray) -> np.ndarray:
     return Z
 
 
+@hot_path(reason="sparse-native O(Δ) incremental patch kernel")
 def patch_sums_sparse(
     S_flat: np.ndarray,
     src: np.ndarray,
@@ -74,7 +76,7 @@ def patch_sums_sparse(
     # The product only ever reads H rows of the delta's endpoints, so the
     # one-hot matrix is built over those O(Δ) vertices alone — a full-label
     # construction would make the patch O(n) per call.
-    touched = np.unique(np.concatenate((src, dst)))
+    touched = np.unique(np.concatenate((src, dst)))  # repro: ignore[hot-path-alloc] O(Δ) endpoints, not O(E)
     known = touched[labels[touched] != UNKNOWN_LABEL]
     if known.size == 0:
         return

@@ -24,6 +24,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..analysis.annotations import hot_path
 from ..graph.edgelist import EdgeList
 from .projection import projection_from_scales, projection_scales
 from .result import EmbeddingResult
@@ -57,6 +58,7 @@ __all__ = [
 _SPARSE_THRESHOLD = 0.03
 
 
+@hot_path(reason="the scatter primitive every embed/patch call funnels through")
 def scatter_add(out_flat: np.ndarray, flat_idx: np.ndarray, weights: np.ndarray) -> None:
     """``out_flat[flat_idx] += weights`` with duplicate indices summed.
 
@@ -80,13 +82,14 @@ def scatter_add(out_flat: np.ndarray, flat_idx: np.ndarray, weights: np.ndarray)
         out_flat[uniq] += sums
 
 
+@hot_path(reason="shared per-edge accumulation kernel (vectorised/Ligra/parallel)")
 def accumulate_edges_vectorized(
     Z_flat: np.ndarray,
     src: np.ndarray,
     dst: np.ndarray,
     weights: np.ndarray,
     labels: np.ndarray,
-    scales: np.ndarray,
+    scales: Optional[np.ndarray],
     n_classes: int,
 ) -> None:
     """Accumulate the GEE contribution of a batch of edges into ``Z_flat``.
@@ -95,21 +98,26 @@ def accumulate_edges_vectorized(
     the single kernel shared by the vectorised implementation, the
     Ligra batch function and the parallel workers, so all of them compute
     exactly the same per-edge contributions.
+
+    ``scales=None`` means unit scales (the O(Δ) patch kernel's regime):
+    contributions are the raw edge weights, with no per-vertex gather and
+    no materialised ones vector.
     """
     y_dst = labels[dst]
     known = y_dst != UNKNOWN_LABEL
     if np.any(known):
         flat = src[known] * n_classes + y_dst[known]
-        contrib = scales[dst[known]] * weights[known]
+        contrib = weights[known] if scales is None else scales[dst[known]] * weights[known]
         scatter_add(Z_flat, flat, contrib)
     y_src = labels[src]
     known = y_src != UNKNOWN_LABEL
     if np.any(known):
         flat = dst[known] * n_classes + y_src[known]
-        contrib = scales[src[known]] * weights[known]
+        contrib = weights[known] if scales is None else scales[src[known]] * weights[known]
         scatter_add(Z_flat, flat, contrib)
 
 
+@hot_path(reason="O(Δ) incremental patch kernel")
 def patch_sums_vectorized(
     S_flat: np.ndarray,
     src: np.ndarray,
@@ -122,18 +130,19 @@ def patch_sums_vectorized(
 
     The vectorised O(Δ) patch kernel behind the ``supports_incremental``
     capability: raw sums are the unit-scale special case of the shared edge
-    pass (``S[u, Y[v]] += Δw`` is ``accumulate_edges_vectorized`` with every
-    scale pinned to 1), so the patch reuses the exact kernel the full embeds
-    run and the incremental trajectory stays bit-compatible with it.
+    pass (``S[u, Y[v]] += Δw`` is ``accumulate_edges_vectorized`` with
+    ``scales=None``), so the patch reuses the exact kernel the full embeds
+    run and the incremental trajectory stays bit-compatible with it — and
+    allocates nothing of size n (the old unit-scale ones vector cost an
+    O(n) allocation per O(Δ) patch).
     """
-    n = S_flat.size // int(n_classes)
-    unit = np.ones(n, dtype=np.float64)
-    accumulate_edges_vectorized(S_flat, src, dst, delta_w, labels, unit, n_classes)
+    accumulate_edges_vectorized(S_flat, src, dst, delta_w, labels, None, n_classes)
 
 
 # --------------------------------------------------------------------------- #
 # Locality-optimized segment-sum kernels (FusedLayout consumers)
 # --------------------------------------------------------------------------- #
+@hot_path(reason="block-local segment-sum scatter of the fused layouts")
 def _block_scatter(
     out_flat: np.ndarray,
     flat: np.ndarray,
@@ -171,6 +180,7 @@ def _block_scatter(
             out_flat[base:top] = block
 
 
+@hot_path(reason="locality-optimized fused edge pass")
 def accumulate_fused(
     out_flat: np.ndarray,
     fused,
@@ -217,6 +227,7 @@ def accumulate_fused(
     _block_scatter(out_flat, flat, wts, fused.flat_cuts, cuts, accumulate)
 
 
+@hot_path(reason="owner-computes fused kernel run by every parallel worker")
 def accumulate_fused_rows_sorted(
     out_flat: np.ndarray,
     owner_flat: np.ndarray,
@@ -365,6 +376,7 @@ def gee_vectorized(
     )
 
 
+@hot_path(reason="plan-reuse edge pass (the per-call path of embed_with_plan)")
 def _accumulate_with_plan(
     Z_flat: np.ndarray, plan, y: np.ndarray, scales: np.ndarray
 ) -> None:
@@ -398,6 +410,7 @@ def _accumulate_with_plan(
         )
 
 
+@hot_path(reason="bounded-memory chunked edge pass")
 def accumulate_chunked_plan(
     Z_flat: np.ndarray,
     plan,
@@ -440,6 +453,7 @@ def accumulate_chunked_plan(
         accumulate_edges_vectorized(Z_flat, src, dst, w, y, scales, k)
 
 
+@hot_path(reason="sorted-incidence chunked segment-sum pass")
 def _accumulate_chunked_incidence(
     Z_flat: np.ndarray,
     plan,

@@ -36,6 +36,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from ..analysis.annotations import hot_path
 from .validation import validate_edges, validate_labels
 
 __all__ = [
@@ -571,6 +572,7 @@ class EmbedPlan:
         y, _ = validate_labels(labels, self.n_vertices, self.n_classes)
         return y
 
+    @hot_path(reason="per-call output hand-out; must reuse, not reallocate")
     def zeroed_output(self) -> np.ndarray:
         """The reusable flat ``(n*K,)`` output buffer, zeroed.
 
@@ -579,14 +581,17 @@ class EmbedPlan:
         plan; :meth:`EmbeddingResult.detached` copies it out.
         """
         if self._Z_flat is None:
+            # repro: ignore[hot-path-alloc] lazy one-time buffer; every later call reuses it
             self._Z_flat = np.zeros(self.n_vertices * self.n_classes, dtype=np.float64)
         else:
             self._Z_flat.fill(0.0)
         return self._Z_flat
 
+    @hot_path(reason="per-call output hand-out; must reuse, not reallocate")
     def output_matrix(self) -> np.ndarray:
         """``(n, K)`` view of the reusable output buffer (not zeroed)."""
         if self._Z_flat is None:
+            # repro: ignore[hot-path-alloc] lazy one-time buffer; every later call reuses it
             self._Z_flat = np.zeros(self.n_vertices * self.n_classes, dtype=np.float64)
         return self._Z_flat.reshape(self.n_vertices, self.n_classes)
 
@@ -751,6 +756,7 @@ class ChunkedPlan:
         y, _ = validate_labels(labels, self.n_vertices, self.n_classes)
         return y
 
+    @hot_path(reason="per-call output hand-out; must reuse, not reallocate")
     def zeroed_output(self) -> np.ndarray:
         """The reusable flat ``(n*K,)`` output buffer, zeroed.
 
@@ -759,14 +765,17 @@ class ChunkedPlan:
         next plan-based call (``EmbeddingResult.detached`` copies one out).
         """
         if self._Z_flat is None:
+            # repro: ignore[hot-path-alloc] lazy one-time buffer; every later call reuses it
             self._Z_flat = np.zeros(self.n_vertices * self.n_classes, dtype=np.float64)
         else:
             self._Z_flat.fill(0.0)
         return self._Z_flat
 
+    @hot_path(reason="per-call output hand-out; must reuse, not reallocate")
     def output_matrix(self) -> np.ndarray:
         """``(n, K)`` view of the reusable output buffer (not zeroed)."""
         if self._Z_flat is None:
+            # repro: ignore[hot-path-alloc] lazy one-time buffer; every later call reuses it
             self._Z_flat = np.zeros(self.n_vertices * self.n_classes, dtype=np.float64)
         return self._Z_flat.reshape(self.n_vertices, self.n_classes)
 

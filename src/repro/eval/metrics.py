@@ -43,9 +43,13 @@ def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
         return np.zeros((0, 0), dtype=np.int64)
     t_classes, t_inv = np.unique(y_true, return_inverse=True)
     p_classes, p_inv = np.unique(y_pred, return_inverse=True)
-    table = np.zeros((t_classes.size, p_classes.size), dtype=np.int64)
-    np.add.at(table, (t_inv, p_inv), 1)
-    return table
+    # One fused bincount over the flattened table — same flat-index scatter
+    # idiom as the embedding kernels, and much faster than np.add.at.
+    table = np.bincount(
+        t_inv * p_classes.size + p_inv,
+        minlength=t_classes.size * p_classes.size,
+    )
+    return table.reshape(t_classes.size, p_classes.size).astype(np.int64, copy=False)
 
 
 def adjusted_rand_index(y_true: np.ndarray, y_pred: np.ndarray) -> float:

@@ -12,6 +12,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from ..core.gee_vectorized import scatter_add
 from ..core.validation import UNKNOWN_LABEL
 from ..graph.edgelist import EdgeList
 
@@ -49,20 +50,22 @@ def propagate_labels(
     src, dst = edges.src, edges.dst
 
     for _ in range(max_iterations):
-        # Accumulate class votes for every vertex from both edge directions.
+        # Accumulate class votes for every vertex from both edge directions,
+        # through the same flat-index scatter the GEE kernels use.
         votes = np.zeros((n, n_classes), dtype=np.float64)
+        votes_flat = votes.reshape(-1)
         known_dst = y[dst] != UNKNOWN_LABEL
         if np.any(known_dst):
-            np.add.at(
-                votes,
-                (src[known_dst], y[dst[known_dst]]),
+            scatter_add(
+                votes_flat,
+                src[known_dst] * n_classes + y[dst[known_dst]],
                 w[known_dst],
             )
         known_src = y[src] != UNKNOWN_LABEL
         if np.any(known_src):
-            np.add.at(
-                votes,
-                (dst[known_src], y[src[known_src]]),
+            scatter_add(
+                votes_flat,
+                dst[known_src] * n_classes + y[src[known_src]],
                 w[known_src],
             )
         has_votes = votes.sum(axis=1) > 0

@@ -37,7 +37,11 @@ class _DecrementDegree(EdgeMapFunction):
         mask = self.alive[dsts]
         targets = dsts[mask]
         if targets.size:
-            np.subtract.at(self.degrees, targets, 1)
+            # Aggregate duplicate targets first; frontiers are sparse, so a
+            # unique+counts pass beats both np.subtract.at and a dense
+            # n-sized bincount.
+            uniq, counts = np.unique(targets, return_counts=True)
+            self.degrees[uniq] -= counts
         return mask
 
 

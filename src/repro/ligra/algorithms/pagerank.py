@@ -29,7 +29,11 @@ class _PushContribution(AccumulatingEdgeMapFunction):
         return {"next_rank": self.next_rank}
 
     def update_batch_into(self, outputs, srcs, dsts, weights):
-        np.add.at(outputs["next_rank"], dsts, self.contrib[srcs])
+        # Imported lazily: repro.core.__init__ imports gee_ligra, which
+        # imports repro.ligra — a module-level import here would cycle.
+        from ...core.gee_vectorized import scatter_add
+
+        scatter_add(outputs["next_rank"], dsts, self.contrib[srcs])
         return None
 
 

@@ -105,6 +105,7 @@ class AtomicArray:
                 lock = self._locks[int(s)]
                 lock.acquire()
                 acquired.append(lock)
+            # repro: ignore[no-add-at] duplicate-safe scatter under held stripe locks; cold path
             np.add.at(self._array, indices, values)
         finally:
             for lock in reversed(acquired):
@@ -145,6 +146,7 @@ class UnsafeArray:
         return False
 
     def add_at(self, indices, values) -> None:
+        # repro: ignore[no-add-at] the "unsafe updates" ablation is defined as the buffered scatter
         np.add.at(self._array, indices, values)
 
 

@@ -93,12 +93,20 @@ class SharedArraySet:
             raise KeyError(f"shared array {name!r} already exists")
         nbytes = max(1, int(np.prod(shape, dtype=np.int64)) * dtype.itemsize)
         seg = shared_memory.SharedMemory(create=True, size=nbytes)
-        view = np.ndarray(shape, dtype=dtype, buffer=seg.buf)
-        if initial is None:
-            if fill:
-                view.fill(0)
-        else:
-            view[...] = initial
+        try:
+            view = np.ndarray(shape, dtype=dtype, buffer=seg.buf)
+            if initial is None:
+                if fill:
+                    view.fill(0)
+            else:
+                view[...] = initial
+        except BaseException:
+            # The segment is not yet registered in self._segments, so
+            # close() would never release it: unlink it here or it leaks
+            # in /dev/shm until reboot.
+            seg.close()
+            seg.unlink()
+            raise
         self._segments[name] = seg
         self._arrays[name] = view
         self._handles[name] = SharedArrayHandle(seg.name, tuple(shape), dtype.str)
@@ -187,8 +195,15 @@ def attach_many(
     """Attach to every handle in a dictionary; returns (views, segments)."""
     views: Dict[str, np.ndarray] = {}
     segments = []
-    for name, handle in handles.items():
-        view, seg = attach(handle)
-        views[name] = view
-        segments.append(seg)
+    try:
+        for name, handle in handles.items():
+            view, seg = attach(handle)
+            views[name] = view
+            segments.append(seg)
+    except BaseException:
+        # A failed attach mid-dictionary must not strand the mappings that
+        # already succeeded (close only: attachers never unlink).
+        for seg in segments:
+            seg.close()
+        raise
     return views, segments

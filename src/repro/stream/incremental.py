@@ -32,6 +32,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from ..analysis.annotations import hot_path
 from ..core.validation import (
     UNKNOWN_LABEL,
     class_counts,
@@ -245,6 +246,7 @@ class IncrementalEmbedding:
         self._updates_since_refresh = 0
         self._churn_since_refresh = 0
 
+    @hot_path(reason="O(Δ) live-embedding maintenance; the dynamic-graph fast path")
     def update(
         self,
         labels: Optional[np.ndarray] = None,
@@ -323,6 +325,7 @@ class IncrementalEmbedding:
             dst = np.concatenate([p[1] for p in parts])
             dw = np.concatenate([p[2] for p in parts])
             self._backend.patch_sums(self._S.reshape(-1), src, dst, dw, y_new, k)
+            # repro: ignore[hot-path-alloc] O(Δ) touched-row set, not O(E)
             rows = np.unique(np.concatenate((src, dst)))
         else:
             rows = np.empty(0, dtype=np.int64)

@@ -1,0 +1,251 @@
+"""Framework-level tests for repro.analysis: registry, suppressions, CLI."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    Rule,
+    Severity,
+    all_rules,
+    analyze_paths,
+    get_rule,
+    hot_path,
+    is_hot_path,
+    list_rules,
+)
+from repro.analysis.registry import register_rule
+from repro.analysis.suppressions import SuppressionIndex
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+EXPECTED_RULES = {
+    "bench-schema",
+    "capability-contract",
+    "fork-safety",
+    "hot-path-alloc",
+    "index-dtype",
+    "no-add-at",
+    "shm-lifecycle",
+}
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+def test_all_builtin_rules_registered():
+    assert EXPECTED_RULES <= set(list_rules())
+
+
+def test_rules_have_descriptions_and_valid_scope():
+    for rule in all_rules():
+        assert rule.description, rule.name
+        assert rule.scope in ("file", "project")
+
+
+def test_get_rule_unknown_name_raises():
+    with pytest.raises(ValueError, match="unknown analysis rule"):
+        get_rule("definitely-not-a-rule")
+
+
+def test_register_rule_rejects_duplicates_and_invalid():
+    with pytest.raises(ValueError, match="already registered"):
+
+        @register_rule
+        class Duplicate(Rule):
+            name = "no-add-at"
+
+    with pytest.raises(ValueError, match="must set"):
+
+        @register_rule
+        class Nameless(Rule):
+            pass
+
+    with pytest.raises(TypeError):
+        register_rule(object)
+
+
+def test_all_rules_selects_by_name():
+    rules = all_rules(["no-add-at"])
+    assert [r.name for r in rules] == ["no-add-at"]
+
+
+# --------------------------------------------------------------------------- #
+# hot_path annotation
+# --------------------------------------------------------------------------- #
+def test_hot_path_marker_bare_and_with_reason():
+    @hot_path
+    def bare():
+        pass
+
+    @hot_path(reason="because")
+    def reasoned():
+        pass
+
+    def unmarked():
+        pass
+
+    assert is_hot_path(bare)
+    assert is_hot_path(reasoned)
+    assert reasoned.__repro_hot_path_reason__ == "because"
+    assert not is_hot_path(unmarked)
+    assert bare() is None  # the marker adds no wrapper
+
+
+# --------------------------------------------------------------------------- #
+# Suppressions
+# --------------------------------------------------------------------------- #
+def test_suppression_same_line_and_line_above():
+    idx = SuppressionIndex(
+        [
+            "x = 1  # repro: ignore[rule-a] because",
+            "# repro: ignore[rule-b]",
+            "y = 2",
+        ]
+    )
+    assert idx.is_suppressed("rule-a", 1)
+    assert not idx.is_suppressed("rule-b", 1)
+    assert idx.is_suppressed("rule-b", 3)  # line above
+    assert not idx.is_suppressed("rule-a", 3)
+
+
+def test_suppression_wildcard_and_multiple_rules():
+    idx = SuppressionIndex(["z = 3  # repro: ignore[rule-a, rule-b]"])
+    assert idx.is_suppressed("rule-a", 1)
+    assert idx.is_suppressed("rule-b", 1)
+    assert not idx.is_suppressed("rule-c", 1)
+    star = SuppressionIndex(["w = 4  # repro: ignore[*]"])
+    assert star.is_suppressed("anything", 1)
+
+
+def test_file_suppression_covers_whole_file():
+    idx = SuppressionIndex(["# repro: ignore-file[rule-a]", "", "x = 1"])
+    assert idx.is_suppressed("rule-a", 3)
+    assert not idx.is_suppressed("rule-b", 3)
+
+
+def test_engine_marks_suppressed_findings(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "import numpy as np\n"
+        "np.add.at(a, i, v)\n"
+        "np.add.at(a, i, v)  # repro: ignore[no-add-at] oracle row\n"
+    )
+    active = analyze_paths([bad], rules=["no-add-at"], root=tmp_path)
+    assert [f.line for f in active] == [2]
+    everything = analyze_paths(
+        [bad], rules=["no-add-at"], include_suppressed=True, root=tmp_path
+    )
+    assert [(f.line, f.suppressed) for f in everything] == [(2, False), (3, True)]
+
+
+# --------------------------------------------------------------------------- #
+# Engine behaviour
+# --------------------------------------------------------------------------- #
+def test_analyze_paths_missing_path_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        analyze_paths([tmp_path / "nope"], rules=["no-add-at"])
+
+
+def test_parse_error_becomes_finding(tmp_path):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def oops(:\n")
+    findings = analyze_paths([broken], rules=["no-add-at"], root=tmp_path)
+    assert len(findings) == 1
+    assert findings[0].rule == "parse-error"
+    assert findings[0].severity is Severity.ERROR
+
+
+def test_findings_sorted_and_relativized(tmp_path):
+    (tmp_path / "b.py").write_text("import numpy as np\nnp.add.at(a, i, v)\n")
+    (tmp_path / "a.py").write_text("import numpy as np\nnp.add.at(a, i, v)\n")
+    findings = analyze_paths([tmp_path], rules=["no-add-at"], root=tmp_path)
+    assert [f.path for f in findings] == ["a.py", "b.py"]
+
+
+def test_finding_to_dict_schema():
+    f = Finding(
+        rule="no-add-at",
+        severity=Severity.ERROR,
+        path="x.py",
+        line=3,
+        message="msg",
+        symbol="fn",
+    )
+    d = f.to_dict()
+    assert d == {
+        "rule": "no-add-at",
+        "severity": "error",
+        "path": "x.py",
+        "line": 3,
+        "col": 0,
+        "message": "msg",
+        "suppressed": False,
+        "symbol": "fn",
+    }
+
+
+# --------------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------------- #
+def _run_cli(*args, cwd=None):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        capture_output=True,
+        text=True,
+        cwd=cwd or REPO_ROOT,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+
+
+def test_cli_list_rules():
+    proc = _run_cli("--list-rules")
+    assert proc.returncode == 0
+    for name in EXPECTED_RULES:
+        assert name in proc.stdout
+
+
+def test_cli_clean_file_exits_zero(tmp_path):
+    clean = tmp_path / "clean.py"
+    clean.write_text("def fine():\n    return 1\n")
+    proc = _run_cli(str(clean), "--rules", "no-add-at,index-dtype")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "no findings" in proc.stdout
+
+
+def test_cli_violation_exits_nonzero_and_emits_json(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import numpy as np\nnp.add.at(a, i, v)\n")
+    out_file = tmp_path / "report.json"
+    proc = _run_cli(
+        str(bad),
+        "--rules",
+        "no-add-at",
+        "--format",
+        "json",
+        "--output",
+        str(out_file),
+        "--root",
+        str(tmp_path),
+    )
+    assert proc.returncode == 1
+    payload = json.loads(out_file.read_text())
+    assert payload["version"] == 1
+    assert payload["counts"]["error"] == 1
+    assert payload["findings"][0]["rule"] == "no-add-at"
+    assert payload["findings"][0]["path"] == "bad.py"
+    # stdout carries the same report
+    assert json.loads(proc.stdout) == payload
+
+
+def test_cli_fail_on_threshold(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import numpy as np\nnp.add.at(a, i, v)\n")
+    proc = _run_cli(str(bad), "--rules", "no-add-at", "--fail-on", "error")
+    assert proc.returncode == 1
