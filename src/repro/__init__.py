@@ -37,9 +37,10 @@ from .core import (
 )
 from .graph import ChunkedEdgeSource, CSRGraph, EdgeList, Graph, as_graph
 from .ligra import LigraEngine, VertexSubset
+from .shard import ShardedGraph
 from .stream import DynamicGraph, IncrementalEmbedding, MutationLog, SegmentedEdgeStore
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "GraphEncoderEmbedding",
@@ -59,6 +60,7 @@ __all__ = [
     "IncrementalEmbedding",
     "MutationLog",
     "SegmentedEdgeStore",
+    "ShardedGraph",
     "GEEBackend",
     "get_backend",
     "list_backends",

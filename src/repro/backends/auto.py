@@ -50,7 +50,9 @@ class AutoGEEBackend(GEEBackend):
 
     def __init__(self, *, n_workers: Optional[int] = None, **options) -> None:
         super().__init__(n_workers=n_workers, **options)
-        self._delegates: Dict[Tuple[str, Optional[int]], GEEBackend] = {}
+        self._delegates: Dict[
+            Tuple[str, Optional[int], Optional[int]], GEEBackend
+        ] = {}
 
     # ------------------------------------------------------------------ #
     # Model plumbing
@@ -71,10 +73,16 @@ class AutoGEEBackend(GEEBackend):
         )
 
     def _delegate(self, choice) -> GEEBackend:
-        key = (choice.backend, choice.n_workers)
+        n_shards = getattr(choice, "n_shards", None)
+        key = (choice.backend, choice.n_workers, n_shards)
         backend = self._delegates.get(key)
         if backend is None:
-            backend = get_backend(choice.backend, n_workers=choice.n_workers)
+            options = {}
+            if choice.backend == "sharded":
+                # Only the sharded backend knows the shard-count option;
+                # other delegates reject unknown options by contract.
+                options["n_shards"] = n_shards
+            backend = get_backend(choice.backend, n_workers=choice.n_workers, **options)
             self._delegates[key] = backend
         return backend
 

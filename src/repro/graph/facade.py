@@ -79,6 +79,8 @@ class Graph:
         #: in-place edits) or ``"full"`` (O(s) digest, exact).  Sticky —
         #: set via ``plan(K, fingerprint="full")``.
         self._fingerprint_mode = "sampled"
+        #: n_shards -> compiled ShardedGraph (see :meth:`shard`).
+        self._sharded: Dict[int, object] = {}
 
     #: Cap on cached plans per graph (each holds two s-length flat-index
     #: arrays and an n*K buffer); oldest is evicted beyond this.
@@ -416,6 +418,31 @@ class Graph:
         self._plans[key] = plan
         return plan
 
+    def shard(self, n_shards: int):
+        """The compiled :class:`~repro.shard.ShardedGraph` for ``n_shards``.
+
+        Like :meth:`plan`, the sharded view — the owner-sorted incidence
+        sliced into degree-balanced contiguous owner ranges, each with its
+        own per-shard embed plan and pinned worker affinity — is built on
+        first request and cached per shard count, so repeated
+        ``backend="sharded"`` embeds and shard-routed incremental patches
+        pay the sort-and-slice compilation once.  ``n_shards`` is clamped
+        to the vertex count; cached sharded views (and their worker pools
+        and shared-memory segments) are released by
+        :meth:`invalidate_cache`.
+        """
+        from ..shard import ShardedGraph
+
+        requested = int(n_shards)
+        if requested < 1:
+            raise ValueError(f"n_shards={requested} must be at least 1")
+        key = max(1, min(requested, self.n_vertices)) if self.n_vertices else 1
+        sharded = self._sharded.get(key)
+        if sharded is None:
+            sharded = ShardedGraph(self, key)
+            self._sharded[key] = sharded
+        return sharded
+
     def invalidate_cache(self) -> None:
         """Drop every cached derived view and compiled plan.
 
@@ -452,6 +479,9 @@ class Graph:
         self._is_weighted = None
         self._view_fingerprint = None
         self._plans.clear()
+        for sharded in self._sharded.values():
+            sharded.close()
+        self._sharded.clear()
 
     # ------------------------------------------------------------------ #
     # Conversions

@@ -55,14 +55,24 @@ def resolve_worker_count(
     ``None`` or ``0`` means "use all CPUs".  A positive request is returned
     unchanged — never silently clamped to the CPU count; oversubscription is
     legitimate (e.g. reproducing a worker sweep on a smaller machine).
-    Requests beyond ``max(16, max_oversubscription × CPUs)`` are almost
-    certainly mistakes (they would fork thousands of processes) and raise
+    A *negative* request is outside the documented None/0 contract and
+    raises :class:`ValueError` (it used to be treated as "all CPUs", which
+    let typos like ``n_workers=-3`` silently succeed).  Requests beyond
+    ``max(16, max_oversubscription × CPUs)`` are almost certainly mistakes
+    (they would fork thousands of processes) and raise
     :class:`ValueError` instead of degrading.
     """
     n_cpus = os.cpu_count() or 1
-    if requested is None or int(requested) <= 0:
+    if requested is None:
         return n_cpus
     requested = int(requested)
+    if requested < 0:
+        raise ValueError(
+            f"n_workers={requested} is negative; pass a positive worker count, "
+            "or None/0 to use every CPU"
+        )
+    if requested == 0:
+        return n_cpus
     limit = max(16, n_cpus * max_oversubscription)
     if requested > limit:
         raise ValueError(

@@ -20,7 +20,7 @@ same buffers.
 
 from __future__ import annotations
 
-import atexit
+import weakref
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Dict, Iterator, Optional, Tuple
@@ -28,6 +28,23 @@ from typing import Dict, Iterator, Optional, Tuple
 import numpy as np
 
 __all__ = ["SharedArrayHandle", "SharedArraySet", "attach", "attach_many"]
+
+
+def _release_segments(segments: Dict[str, shared_memory.SharedMemory]) -> None:
+    """Close and unlink every segment in a :class:`SharedArraySet`'s dict.
+
+    Module-level on purpose: it is the callback of a ``weakref.finalize``
+    and must not hold a reference back to the owning set (a bound method
+    would keep the instance alive forever — exactly the leak the finalizer
+    exists to prevent).
+    """
+    for seg in segments.values():
+        try:
+            seg.close()
+            seg.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+    segments.clear()
 
 
 @dataclass(frozen=True)
@@ -56,7 +73,13 @@ class SharedArraySet:
         self._arrays: Dict[str, np.ndarray] = {}
         self._handles: Dict[str, SharedArrayHandle] = {}
         self._closed = False
-        atexit.register(self.close)
+        # Interpreter-exit *and* garbage-collection safety net in one:
+        # ``weakref.finalize`` runs at whichever comes first and — unlike
+        # the former ``atexit.register(self.close)`` — holds no strong
+        # reference to the set, so closed instances are collectable
+        # immediately instead of being pinned for the life of the process
+        # (one registration per pool/plan/shard instance added up).
+        self._finalizer = weakref.finalize(self, _release_segments, self._segments)
 
     # ------------------------------------------------------------------ #
     # Allocation
@@ -132,18 +155,16 @@ class SharedArraySet:
     # Lifetime
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """Release and unlink every shared segment (idempotent)."""
+        """Release and unlink every shared segment (idempotent).
+
+        Detaches the exit/GC finalizer as it runs, so a closed set keeps no
+        process-lifetime registrations behind and is garbage-collectable.
+        """
         if self._closed:
             return
         self._closed = True
         self._arrays.clear()
-        for seg in self._segments.values():
-            try:
-                seg.close()
-                seg.unlink()
-            except FileNotFoundError:  # pragma: no cover - already unlinked
-                pass
-        self._segments.clear()
+        self._finalizer()
         self._handles.clear()
 
     def __enter__(self) -> "SharedArraySet":
@@ -151,12 +172,6 @@ class SharedArraySet:
 
     def __exit__(self, *exc) -> None:
         self.close()
-
-    def __del__(self) -> None:  # pragma: no cover - defensive
-        try:
-            self.close()
-        except Exception:
-            pass
 
 
 def attach(handle: SharedArrayHandle) -> Tuple[np.ndarray, shared_memory.SharedMemory]:

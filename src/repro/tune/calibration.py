@@ -169,6 +169,21 @@ def calibrate(
             samples.append((graph.n_vertices, graph.n_edges, best))
         coefficients[f"{backend_name}:{layout}"] = _fit_coefficients(samples)
 
+    # The sharded path, measured at one shard: with s=1 the shard cost
+    # formula collapses to exactly ``fixed + per_edge·E + per_cell·nK``
+    # (no reduction levels), so this fit anchors the model and
+    # ``CostModel._shard_cost`` extrapolates the per-shard fixed cost and
+    # the tree-reduction term to higher shard counts.
+    samples = []
+    for graph, labels in cases:
+        sharded = graph.shard(1)
+        sharded.embed(labels, K_CAL)  # warm: sort + slice + per-shard plan
+        best = _best_seconds(
+            lambda sg=sharded, y=labels: sg.embed(y, K_CAL), repeats
+        )
+        samples.append((graph.n_vertices, graph.n_edges, best))
+    coefficients["sharded:sorted"] = _fit_coefficients(samples)
+
     # The interpreted loop: one point pins its (huge) per-edge cost.
     graph, labels = cases[0]
     backend = get_backend("python")

@@ -73,6 +73,16 @@ DEFAULT_CALIBRATION: Dict = {
             "per_edge_s": 1.1e-06,
             "per_cell_s": 0.0,
         },
+        # Per-shard cost of the owner-range sharded engine: fixed_s is paid
+        # once per shard (plan dispatch), per_edge_s is the fused
+        # segment-sum scatter (matches vectorized:sorted), per_cell_s
+        # covers one output pass plus the tree-reduction levels (the
+        # shard-count model in choose() multiplies it by 1 + ceil(log2 s)).
+        "sharded:sorted": {
+            "fixed_s": 5.0e-05,
+            "per_edge_s": 1.1e-08,
+            "per_cell_s": 2.0e-09,
+        },
     },
 }
 
@@ -101,6 +111,7 @@ class ExecutionChoice:
     layout: str
     n_workers: Optional[int] = None
     chunk_edges: Optional[int] = None
+    n_shards: Optional[int] = None
     predicted_s: float = float("nan")
     source: str = "default"
     predictions: Dict[str, float] = field(default_factory=dict)
@@ -117,6 +128,7 @@ class ExecutionChoice:
             "layout": self.layout,
             "n_workers": self.n_workers,
             "chunk_edges": self.chunk_edges,
+            "n_shards": self.n_shards,
             "predicted_s": self.predicted_s,
             "source": self.source,
         }
@@ -124,8 +136,9 @@ class ExecutionChoice:
     def __str__(self) -> str:
         workers = f", n_workers={self.n_workers}" if self.n_workers else ""
         chunk = f", chunk_edges={self.chunk_edges}" if self.chunk_edges else ""
+        shards = f", n_shards={self.n_shards}" if self.n_shards else ""
         return (
-            f"{self.backend}:{self.layout}{workers}{chunk} "
+            f"{self.backend}:{self.layout}{workers}{chunk}{shards} "
             f"(predicted {self.predicted_s * 1e3:.2f} ms, {self.source})"
         )
 
@@ -192,6 +205,10 @@ class CostModel:
             if backend == "parallel":
                 if chunked or n_workers_available < 2 or self.parallel_workers < 2:
                     continue
+            if backend == "sharded" and chunked:
+                # The sharded backend rejects pre-chunked plans; its own
+                # out-of-core path goes through ShardedGraph explicitly.
+                continue
             names.append(config)
         return tuple(names)
 
@@ -232,7 +249,13 @@ class CostModel:
             else int(n_workers_available)
         )
         predictions: Dict[str, float] = {}
+        shard_counts: Dict[str, int] = {}
         for config in self._candidates(e, workers, chunked, fixed_layout):
+            if config.startswith("sharded:"):
+                predictions[config], shard_counts[config] = self._shard_cost(
+                    config, n, e, k, workers
+                )
+                continue
             cost = self.predict(config, n, e, k)
             if config.startswith("parallel:") and workers < self.parallel_workers:
                 # The parallel coefficients were measured at the full
@@ -250,15 +273,50 @@ class CostModel:
             predictions = {fallback: self.predict(fallback, n, e, k)}
         best = min(predictions, key=predictions.get)
         backend, _, layout = best.partition(":")
+        n_workers: Optional[int] = None
+        n_shards: Optional[int] = None
+        if backend == "parallel":
+            n_workers = min(workers, self.parallel_workers)
+        elif backend == "sharded":
+            n_shards = shard_counts.get(best, 1)
+            n_workers = min(workers, n_shards) if min(workers, n_shards) > 1 else None
         return ExecutionChoice(
             backend=backend,
             layout=layout,
-            n_workers=min(workers, self.parallel_workers) if backend == "parallel" else None,
+            n_workers=n_workers,
             chunk_edges=chunk_edges,
+            n_shards=n_shards,
             predicted_s=predictions[best],
             source=self.source,
             predictions=predictions,
         )
+
+    def _shard_cost(
+        self, config: str, n: int, e: int, k: int, workers: int
+    ) -> Tuple[float, int]:
+        """Best predicted cost and shard count for the sharded engine.
+
+        The shard-count axis: ``fixed_s`` is paid once per shard,
+        the edge pass splits across ``min(s, workers)`` workers, and the
+        output term grows with the tree-reduction depth (``ceil(log2 s)``
+        pairwise combines over full-shape partials).  Shard counts are
+        swept over powers of two up to the worker count — beyond that,
+        extra shards only add dispatch and reduction cost.
+        """
+        coeff = self.coefficients[config]
+        best_s, best_cost = 1, float("inf")
+        s = 1
+        while s <= max(1, workers):
+            levels = (s - 1).bit_length()  # == ceil(log2(s)) for s >= 1
+            cost = (
+                coeff["fixed_s"] * s
+                + coeff["per_edge_s"] * e / min(s, max(1, workers))
+                + coeff["per_cell_s"] * n * k * (1 + levels)
+            )
+            if cost < best_cost:
+                best_s, best_cost = s, cost
+            s *= 2
+        return best_cost, best_s
 
     def choose_layout(
         self, n_vertices: int, n_edges: int, n_classes: int, *, chunked: bool = False
@@ -328,11 +386,19 @@ def get_cost_model(*, refresh: bool = False) -> CostModel:
     return _MODEL
 
 
-def reset_cost_model() -> None:
-    """Drop the memoised model and re-arm the fallback warning (tests)."""
+def reset_cost_model(*, rearm_warning: bool = False) -> None:
+    """Drop the memoised model so the next access re-reads the cache.
+
+    The once-per-process fallback warning stays latched by default — a
+    model *reload* (calibrating in-process, a test fixture swapping
+    ``REPRO_TUNE_DIR``) must not make the "one-time" warning fire again.
+    Pass ``rearm_warning=True`` to reset the latch too (tests that assert
+    on the warning itself).
+    """
     global _MODEL, _WARNED
     _MODEL = None
-    _WARNED = False
+    if rearm_warning:
+        _WARNED = False
 
 
 def auto_layout(

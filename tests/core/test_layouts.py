@@ -101,7 +101,12 @@ class TestPermutationInvariance:
         backend = get_backend(backend_name, n_workers=workers)
         result = backend.embed_with_plan(plan, y)
         np.testing.assert_allclose(result.embedding, reference, atol=ATOL)
-        assert result.layout in (layout, "none")  # auto may re-choose
+        if caps.supports_sharding:
+            # Sharded execution re-slices its own owner-sorted incidence
+            # regardless of the plan's layout, and says so.
+            assert result.layout == "sorted"
+        else:
+            assert result.layout in (layout, "none")  # auto may re-choose
 
     def test_parallel_blocked_rejects_explicit_workers(self):
         edges, y = _case("weighted", "partial")

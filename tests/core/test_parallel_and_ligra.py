@@ -136,6 +136,32 @@ class TestGeeParallelBehaviour:
         with pytest.raises(ValueError, match="n_workers=10000"):
             gee_parallel(edges, y, 3, n_workers=10_000)
 
+    def test_negative_worker_count_rejected(self):
+        # Regression: resolve_worker_count used to treat any requested <= 0
+        # as "all CPUs", so a typo like n_workers=-3 silently succeeded
+        # despite the documented None/0 contract.
+        from repro.parallel import resolve_worker_count
+
+        edges = erdos_renyi(30, 100, seed=2)
+        y = random_partial_labels(30, 3, 0.5, seed=2)
+        with pytest.raises(ValueError, match="negative"):
+            resolve_worker_count(-3)
+        with pytest.raises(ValueError, match="negative"):
+            gee_parallel(edges, y, 3, n_workers=-3)
+
+    def test_negative_worker_count_rejected_by_ligra_processes(self):
+        # The Ligra process backend resolves its worker count at embed time
+        # (the engine is built inside gee_ligra), so the regression check
+        # must go through .embed, not just backend construction.
+        from repro.backends import get_backend
+        from repro.graph import Graph
+
+        edges = erdos_renyi(30, 100, seed=2)
+        y = random_partial_labels(30, 3, 0.5, seed=2)
+        backend = get_backend("ligra-processes", n_workers=-2)
+        with pytest.raises(ValueError, match="negative"):
+            backend.embed(Graph.coerce(edges), y, 3)
+
     def test_timings_contain_phases(self):
         edges = erdos_renyi(50, 200, seed=3)
         y = random_partial_labels(50, 3, 0.5, seed=3)

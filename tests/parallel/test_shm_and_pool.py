@@ -1,5 +1,8 @@
 """Tests for the shared-memory arrays, reductions and the fork worker pool."""
 
+import gc
+import weakref
+
 import numpy as np
 import pytest
 
@@ -11,6 +14,7 @@ from repro.parallel import (
     effective_worker_count,
     fork_available,
     inplace_accumulate,
+    resolve_worker_count,
     sum_reduce,
     tree_reduce,
 )
@@ -83,6 +87,33 @@ class TestSharedArraySet:
             shm.zeros("a", (1,))
             assert "a" in shm
             assert list(shm) == ["a"]
+
+    def test_closed_set_is_collectable(self):
+        """Regression: closed sets must be garbage-collectable.
+
+        ``__init__`` used to call ``atexit.register(self.close)`` and never
+        unregister, pinning every instance (and its array dict) for the
+        life of the process — unbounded growth under plan/shard churn.
+        """
+        shm = SharedArraySet()
+        shm.zeros("a", (64,))
+        shm.close()
+        ref = weakref.ref(shm)
+        del shm
+        gc.collect()
+        assert ref() is None
+
+    def test_unclosed_set_released_on_collection(self):
+        """The GC safety net unlinks segments the owner forgot to close."""
+        shm = SharedArraySet()
+        shm.zeros("a", (8,))
+        name = shm.handles()["a"].shm_name
+        del shm
+        gc.collect()
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
 
 
 class TestReductions:

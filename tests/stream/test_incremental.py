@@ -35,7 +35,9 @@ def _fresh_fit(dyn: DynamicGraph, labels: np.ndarray, k: int) -> np.ndarray:
 
 
 def test_expected_incremental_backends():
-    assert set(INCREMENTAL_BACKENDS) == {"auto", "vectorized", "sparse", "parallel"}
+    assert set(INCREMENTAL_BACKENDS) == {
+        "auto", "vectorized", "sparse", "parallel", "sharded",
+    }
 
 
 def test_non_incremental_backend_rejects_patch():

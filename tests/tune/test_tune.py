@@ -30,9 +30,9 @@ from repro.tune.calibration import SCHEMA_VERSION
 def tune_dir(tmp_path, monkeypatch):
     """Point the calibration cache at a private directory, reset the model."""
     monkeypatch.setenv("REPRO_TUNE_DIR", str(tmp_path))
-    reset_cost_model()
+    reset_cost_model(rearm_warning=True)
     yield tmp_path
-    reset_cost_model()
+    reset_cost_model(rearm_warning=True)
 
 
 def _synthetic_payload(**overrides):
@@ -65,6 +65,23 @@ class TestCacheLifecycle:
             again = get_cost_model()
         assert model.source == "default"
         assert again is model
+        tune_warnings = [w for w in rec if "calibration" in str(w.message)]
+        assert len(tune_warnings) == 1
+
+    def test_warning_latch_survives_model_reload(self, tune_dir):
+        """Regression: the one-time warning must not re-fire on reload.
+
+        ``reset_cost_model()`` used to re-arm the warn latch as a side
+        effect, so every cost-model reload (in-process recalibration, a
+        fixture swapping ``REPRO_TUNE_DIR``) made the "once-per-process"
+        RuntimeWarning fire again — visible noise inside the tier-1 run.
+        """
+        with warnings.catch_warnings(record=True) as rec:
+            warnings.simplefilter("always")
+            get_cost_model()
+            reset_cost_model()  # reload WITHOUT re-arming the latch
+            reloaded = get_cost_model()
+        assert reloaded.source == "default"
         tune_warnings = [w for w in rec if "calibration" in str(w.message)]
         assert len(tune_warnings) == 1
 
@@ -111,7 +128,7 @@ class TestCalibration:
         data = tune.calibrate(repeats=1, include_parallel=False)
         assert data["schema"] == SCHEMA_VERSION
         for config in ("vectorized:none", "vectorized:sorted", "vectorized:blocked",
-                       "sparse:none", "python:none"):
+                       "sparse:none", "sharded:sorted", "python:none"):
             coeff = data["coefficients"][config]
             assert coeff["per_edge_s"] >= 0 and coeff["fixed_s"] >= 0
         # The interpreted loop must be orders of magnitude above vectorized.
