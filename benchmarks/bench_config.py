@@ -203,12 +203,28 @@ def _validate_entries(entries: List[Dict]) -> None:
             )
 
 
+def run_telemetry() -> Optional[Dict]:
+    """This process's obs telemetry summary, or ``None`` when not tracing.
+
+    When the benchmark ran under ``REPRO_TRACE`` (or an explicit
+    ``obs.start_trace()``/``obs.enable()``), this is the compact summary —
+    top-3 spans by inclusive time plus the counter totals — that
+    :func:`write_bench_json` embeds next to the numbers it explains.
+    """
+    from repro import obs
+
+    if not obs.enabled() and not obs.snapshot():
+        return None
+    return obs.telemetry(top=3)
+
+
 def write_bench_json(
     name: str,
     entries: List[Dict],
     *,
     gates: List[Dict],
     extra: Optional[Dict] = None,
+    telemetry: Optional[Dict] = None,
 ) -> Path:
     """Write ``BENCH_<name>.json`` and return its path.
 
@@ -231,8 +247,15 @@ def write_bench_json(
     Entries are validated against :data:`REQUIRED_ENTRY_KEYS` so a
     hand-rolled row cannot silently produce a file the regression harness
     skips.
+
+    ``telemetry`` optionally embeds the run's :mod:`repro.obs` summary
+    (defaulting to :func:`run_telemetry`, which is ``None`` unless the
+    process traced) — an additive key, so existing baselines stay valid
+    and the regression gate ignores it.
     """
     _validate_entries(entries)
+    if telemetry is None:
+        telemetry = run_telemetry()
     payload: Dict = {
         "gates": _validate_gates(gates),
         "schema": 1,
@@ -247,6 +270,8 @@ def write_bench_json(
         "cpu_count": os.cpu_count(),
         "entries": entries,
     }
+    if telemetry is not None:
+        payload["telemetry"] = telemetry
     if extra:
         payload.update(extra)
     out_dir = Path(os.environ.get("REPRO_BENCH_OUTPUT_DIR", REPO_ROOT))

@@ -1,0 +1,197 @@
+"""The observability overhead gate: tracing must be (nearly) free.
+
+:mod:`repro.obs` instruments the dispatch seams, never the kernels, and its
+disabled path is one module-flag check per span site.  This benchmark holds
+that contract to numbers, on the Friendster stand-in's warm vectorized plan
+path (the hottest, most allocation-free path in the repo — any constant
+per-call overhead shows up largest here):
+
+* ``vectorized/direct`` — the backend's internal ``_embed_with_plan``
+  (exactly the pre-observability dispatch body);
+* ``vectorized/obs-disabled`` — the public ``embed_with_plan`` with tracing
+  off: must stay within **2%** of direct;
+* ``vectorized/obs-enabled`` — the same call while tracing, including span
+  recording, phase synthesis and the ``result.telemetry`` attachment: must
+  stay within **10%** of direct.
+
+``BENCH_obs_overhead.json`` records all three plus the overhead
+percentages; ``main()`` exits non-zero when either bound is exceeded, and
+the declared speedup gates let ``check_regression.py`` re-assert the same
+floors from the committed file.
+"""
+
+import argparse
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.backends import get_backend
+from repro.eval.timing import time_callable
+
+from bench_config import N_CLASSES, bench_entry, load_bench_dataset, write_bench_json
+
+#: Overhead ceilings (percent over the direct path's best time).
+MAX_DISABLED_PCT = 2.0
+MAX_ENABLED_PCT = 10.0
+
+
+@pytest.mark.benchmark(group="obs-overhead")
+@pytest.mark.parametrize("mode", ["direct", "obs-disabled", "obs-enabled"])
+def test_obs_overhead(benchmark, friendster_sim, mode):
+    graph, labels, _ = friendster_sim
+    backend = get_backend("vectorized")
+    plan = graph.plan(N_CLASSES)
+    try:
+        if mode == "direct":
+            benchmark(lambda: backend._embed_with_plan(plan, labels))
+        elif mode == "obs-disabled":
+            obs.disable()
+            benchmark(lambda: backend.embed_with_plan(plan, labels))
+        else:
+            obs.enable()
+            benchmark(lambda: backend.embed_with_plan(plan, labels))
+    finally:
+        obs.disable()
+        obs.clear()
+        obs.metrics.reset()
+
+
+def test_observed_path_matches_direct(friendster_sim):
+    graph, labels, _ = friendster_sim
+    backend = get_backend("vectorized")
+    plan = graph.plan(N_CLASSES)
+    direct = backend._embed_with_plan(plan, labels).embedding.copy()
+    try:
+        obs.enable()
+        observed = backend.embed_with_plan(plan, labels)
+    finally:
+        obs.disable()
+        obs.clear()
+        obs.metrics.reset()
+    np.testing.assert_allclose(direct, observed.embedding, atol=1e-12)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=9)
+    parser.add_argument("--warmup", type=int, default=2)
+    parser.add_argument(
+        "--max-disabled-pct",
+        type=float,
+        default=MAX_DISABLED_PCT,
+        help="overhead ceiling for the tracing-disabled path",
+    )
+    parser.add_argument(
+        "--max-enabled-pct",
+        type=float,
+        default=MAX_ENABLED_PCT,
+        help="overhead ceiling with tracing enabled",
+    )
+    args = parser.parse_args(argv)
+
+    graph, labels, _ = load_bench_dataset("friendster-sim")
+    backend = get_backend("vectorized")
+    plan = graph.plan(N_CLASSES)
+
+    obs.disable()
+    direct = time_callable(
+        lambda: backend._embed_with_plan(plan, labels),
+        repeats=args.repeats,
+        warmup=args.warmup,
+    )
+    direct.label = "vectorized/direct"
+
+    disabled = time_callable(
+        lambda: backend.embed_with_plan(plan, labels),
+        repeats=args.repeats,
+        warmup=args.warmup,
+    )
+    disabled.label = "vectorized/obs-disabled"
+
+    obs.enable()
+    try:
+        enabled = time_callable(
+            lambda: backend.embed_with_plan(plan, labels),
+            repeats=args.repeats,
+            warmup=args.warmup,
+        )
+    finally:
+        obs.disable()
+        obs.clear()
+        obs.metrics.reset()
+    enabled.label = "vectorized/obs-enabled"
+
+    disabled_pct = (disabled.best / direct.best - 1.0) * 100.0
+    enabled_pct = (enabled.best / direct.best - 1.0) * 100.0
+    print(
+        f"  direct={direct.best * 1e3:.3f}ms "
+        f"disabled={disabled.best * 1e3:.3f}ms ({disabled_pct:+.2f}%) "
+        f"enabled={enabled.best * 1e3:.3f}ms ({enabled_pct:+.2f}%)"
+    )
+
+    entries = [
+        bench_entry(
+            record,
+            backend="vectorized",
+            graph="friendster-sim",
+            n=graph.n_vertices,
+            E=graph.n_edges,
+            variant=record.label.split("/", 1)[1],
+            layout="none",
+        )
+        for record in (direct, disabled, enabled)
+    ]
+    write_bench_json(
+        "obs_overhead",
+        entries,
+        gates=[
+            {
+                "kind": "speedup",
+                "fast": "vectorized/obs-disabled",
+                "slow": "vectorized/direct",
+                "min_speedup": 1.0 / (1.0 + MAX_DISABLED_PCT / 100.0),
+                "ci": "check_regression.py --speedup "
+                "vectorized/obs-disabled:vectorized/direct --min-speedup 0.980",
+            },
+            {
+                "kind": "speedup",
+                "fast": "vectorized/obs-enabled",
+                "slow": "vectorized/direct",
+                "min_speedup": 1.0 / (1.0 + MAX_ENABLED_PCT / 100.0),
+                "ci": "check_regression.py --speedup "
+                "vectorized/obs-enabled:vectorized/direct --min-speedup 0.909",
+            },
+        ],
+        extra={
+            "overhead_pct": {
+                "obs-disabled": disabled_pct,
+                "obs-enabled": enabled_pct,
+            },
+            "overhead_ceilings_pct": {
+                "obs-disabled": args.max_disabled_pct,
+                "obs-enabled": args.max_enabled_pct,
+            },
+        },
+    )
+
+    failed = False
+    if disabled_pct > args.max_disabled_pct:
+        print(
+            f"FAIL: tracing-disabled overhead {disabled_pct:.2f}% exceeds "
+            f"{args.max_disabled_pct}%"
+        )
+        failed = True
+    if enabled_pct > args.max_enabled_pct:
+        print(
+            f"FAIL: tracing-enabled overhead {enabled_pct:.2f}% exceeds "
+            f"{args.max_enabled_pct}%"
+        )
+        failed = True
+    if not failed:
+        print("OK: observability overhead within bounds")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

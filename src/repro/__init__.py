@@ -40,6 +40,9 @@ from .ligra import LigraEngine, VertexSubset
 from .shard import ShardedGraph
 from .stream import DynamicGraph, IncrementalEmbedding, MutationLog, SegmentedEdgeStore
 
+# Importing repro.obs arms REPRO_TRACE=path tracing (a no-op otherwise).
+from . import obs  # noqa: E402  (after the public API so obs can't shadow it)
+
 __version__ = "1.4.0"
 
 __all__ = [

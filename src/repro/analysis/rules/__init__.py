@@ -5,7 +5,7 @@ Importing this package registers every built-in rule with
 ``repro.backends`` registers the execution backends).
 """
 
-from . import addat, bench, contracts, dtype, forksafety, hotpath, shm_lifecycle  # noqa: F401
+from . import addat, bench, contracts, dtype, forksafety, hotpath, obs, shm_lifecycle  # noqa: F401
 
 from .addat import NoAddAtRule
 from .bench import BenchSchemaRule
@@ -13,6 +13,7 @@ from .contracts import CapabilityContractRule, check_capability_contract
 from .dtype import IndexDtypeRule
 from .forksafety import ForkSafetyRule
 from .hotpath import HotPathAllocationRule
+from .obs import ObsSpanHygieneRule
 from .shm_lifecycle import ShmLifecycleRule
 
 __all__ = [
@@ -23,5 +24,6 @@ __all__ = [
     "IndexDtypeRule",
     "ForkSafetyRule",
     "HotPathAllocationRule",
+    "ObsSpanHygieneRule",
     "ShmLifecycleRule",
 ]

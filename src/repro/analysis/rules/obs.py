@@ -1,0 +1,78 @@
+"""``obs-span-hygiene`` — no span creation inside per-edge hot loops.
+
+The :mod:`repro.obs` substrate is zero-overhead *per call site*, not per
+edge: a span costs one flag check disabled and a clock read + tuple append
+enabled.  Creating one inside a Python loop over edge/vertex-sized data in
+a ``@hot_path`` function multiplies that cost by O(E) and floods the ring
+buffer — exactly the regime the <2%/<10% overhead gate exists to prevent.
+
+Spans *around* such loops (or at the top of a ``@hot_path`` function, as
+``IncrementalEmbedding.update`` does) are fine and encouraged; only span
+construction lexically nested inside an edge-sized loop is flagged.  The
+edge-sized-loop judgement is shared with ``hot-path-alloc`` (which already
+bans most such loops outright — this rule catches the annotated survivors
+that carry a ``# repro: ignore[hot-path-alloc]`` justification).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import Rule, register_rule
+from ._util import decorator_matches, dotted_name, iter_functions
+from .hotpath import HotPathAllocationRule
+
+__all__ = ["ObsSpanHygieneRule", "SPAN_CALLS"]
+
+#: Callables from :mod:`repro.obs` whose invocation creates a span record
+#: (or an instant event, which shares the ring buffer).
+SPAN_CALLS = frozenset({"trace", "traced", "Span", "record_span", "record_event"})
+
+
+@register_rule
+class ObsSpanHygieneRule(Rule):
+    name = "obs-span-hygiene"
+    description = (
+        "span/event creation (repro.obs trace/Span/record_*) inside a "
+        "per-edge loop of a @hot_path function"
+    )
+
+    def check_module(self, module) -> Iterator[Finding]:
+        for fn in iter_functions(module.tree):
+            if not decorator_matches(fn, "hot_path"):
+                continue
+            yield from self._check_function(module, fn)
+
+    def _check_function(self, module, fn) -> Iterator[Finding]:
+        for node in ast.walk(fn):
+            if not isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+                continue
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if not HotPathAllocationRule._loop_is_edge_sized(node.iter):
+                    continue
+            else:
+                # ``while`` loops: conservative — only flag when the test
+                # mentions an edge-sized symbol.
+                from .hotpath import _mentions_edge_symbol
+
+                if not _mentions_edge_symbol(node.test):
+                    continue
+            for inner in ast.walk(node):
+                if not isinstance(inner, ast.Call):
+                    continue
+                dotted = dotted_name(inner.func)
+                if dotted is None:
+                    continue
+                leaf = dotted.rsplit(".", 1)[-1]
+                if leaf in SPAN_CALLS:
+                    yield self.finding(
+                        module.rel_path,
+                        inner.lineno,
+                        f"{leaf}() creates a span record inside a per-edge "
+                        "loop of a @hot_path function; hoist the span to "
+                        "wrap the loop (one record per pass, not per edge)",
+                        col=inner.col_offset,
+                        symbol=fn.name,
+                    )

@@ -87,6 +87,24 @@ class AutoGEEBackend(GEEBackend):
         return backend
 
     @staticmethod
+    def _record_drift(choice, result, n_edges: int) -> None:
+        """Log predicted vs observed cost for the drift report.
+
+        Every auto run feeds the detector (an in-memory append, flushed to
+        the tune cache dir at exit) — ``python -m repro.obs drift`` compares
+        these against the calibration to flag when re-tuning is warranted.
+        """
+        from ..obs.drift import record_auto_run
+
+        record_auto_run(
+            choice,
+            result.timings.get("total"),
+            result.n_vertices,
+            n_edges,
+            result.n_classes,
+        )
+
+    @staticmethod
     def _resolve_k(labels: np.ndarray, n_classes: Optional[int]) -> int:
         if n_classes is not None:
             return int(n_classes)
@@ -115,6 +133,7 @@ class AutoGEEBackend(GEEBackend):
         plan = graph.plan(k, layout=choice.layout if choice.layout != "none" else None)
         result = self._delegate(choice).embed_with_plan(plan, labels)
         result.execution_choice = choice
+        self._record_drift(choice, result, graph.n_edges)
         return result
 
     def _embed_with_plan(self, plan, labels: np.ndarray):
@@ -140,6 +159,7 @@ class AutoGEEBackend(GEEBackend):
             target = plan.graph.plan(plan.n_classes, layout=choice.layout)
         result = self._delegate(choice).embed_with_plan(target, labels)
         result.execution_choice = choice
+        self._record_drift(choice, result, plan.n_edges)
         return result
 
     def _embed_with_chunked_plan(self, plan, labels: np.ndarray):
@@ -167,6 +187,7 @@ class AutoGEEBackend(GEEBackend):
             )
         result = self._delegate(choice).embed_with_plan(target, labels)
         result.execution_choice = choice
+        self._record_drift(choice, result, plan.n_edges)
         return result
 
     # ------------------------------------------------------------------ #

@@ -30,6 +30,8 @@ from typing import Any, Dict, List, Optional, Tuple, Type, Union
 
 import numpy as np
 
+from ..obs import core as _obs_core
+
 __all__ = [
     "BackendCapabilities",
     "GEEBackend",
@@ -41,6 +43,10 @@ __all__ = [
     "get_backend",
     "list_backends",
 ]
+
+#: Nesting level of observed dispatches (auto → delegate); see
+#: :meth:`GEEBackend._run_observed`.
+_DISPATCH_DEPTH = 0
 
 
 @dataclass(frozen=True)
@@ -171,7 +177,12 @@ class GEEBackend:
                     "could not infer a positive number of classes; provide "
                     "n_classes or at least one labelled vertex"
                 )
-            return self._embed_with_chunked_plan(ChunkedPlan(graph, k), labels)
+            chunked = ChunkedPlan(graph, k)
+            return self._run_observed(
+                "embed",
+                lambda: self._embed_with_chunked_plan(chunked, labels),
+                n_edges=getattr(graph, "n_edges", None),
+            )
         g = Graph.coerce(graph)
         # Capability first: is_weighted can cost an O(s) scan on CSR-adopted
         # graphs, and every current backend supports weights.
@@ -179,7 +190,9 @@ class GEEBackend:
             raise ValueError(
                 f"backend {type(self).name!r} does not support weighted graphs"
             )
-        return self._embed(g, labels, n_classes)
+        return self._run_observed(
+            "embed", lambda: self._embed(g, labels, n_classes), n_edges=g.n_edges
+        )
 
     __call__ = embed
 
@@ -205,12 +218,20 @@ class GEEBackend:
         """
         if getattr(plan, "is_chunked", False):
             self._check_chunked_input(plan.source.is_weighted)
-            return self._embed_with_chunked_plan(plan, labels)
+            return self._run_observed(
+                "embed_with_plan",
+                lambda: self._embed_with_chunked_plan(plan, labels),
+                n_edges=plan.n_edges,
+            )
         if not type(self).capabilities.supports_weights and plan.graph.is_weighted:
             raise ValueError(
                 f"backend {type(self).name!r} does not support weighted graphs"
             )
-        return self._embed_with_plan(plan, labels)
+        return self._run_observed(
+            "embed_with_plan",
+            lambda: self._embed_with_plan(plan, labels),
+            n_edges=plan.n_edges,
+        )
 
     def _embed_with_plan(self, plan, labels: np.ndarray):
         # Fallback for backends without a dedicated plan kernel: the plan's
@@ -275,7 +296,17 @@ class GEEBackend:
             )
         if src.size == 0:
             return
-        self._patch_sums(S_flat, src, dst, delta_w, labels, int(n_classes))
+        if not _obs_core._ENABLED:
+            self._patch_sums(S_flat, src, dst, delta_w, labels, int(n_classes))
+            return
+        from ..obs import metrics as obs_metrics
+
+        obs_metrics.count("edges_patched", int(src.size))
+        with _obs_core.Span(
+            "backend.patch_sums",
+            {"backend": type(self).name, "delta_edges": int(src.size)},
+        ):
+            self._patch_sums(S_flat, src, dst, delta_w, labels, int(n_classes))
 
     def _patch_sums(
         self,
@@ -294,12 +325,89 @@ class GEEBackend:
     def _embed(self, graph, labels: np.ndarray, n_classes: Optional[int]):
         raise NotImplementedError
 
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+    def _run_observed(self, kind: str, fn, *, n_edges: Optional[int] = None):
+        """Dispatch ``fn`` under a ``backend.<kind>`` span when tracing is on.
+
+        The disabled path is one flag check and a direct call — no span, no
+        allocation.  Enabled, the wrapper records the dispatch span, counts
+        the edges processed, synthesizes child phase spans from the result's
+        timing breakdown (the kernels themselves stay span-free so the hot
+        loops are untouched), and attaches a compact telemetry summary of
+        everything recorded during the call to ``result.telemetry``.
+
+        Dispatch may nest (the ``auto`` backend's embed delegates to another
+        backend's ``embed_with_plan``): every level records its span, but
+        only the outermost counts edges, synthesizes phases and attaches
+        telemetry — otherwise one logical pass would double-count.
+        """
+        global _DISPATCH_DEPTH
+        if not _obs_core._ENABLED:
+            return fn()
+        from ..obs import export as obs_export
+        from ..obs import metrics as obs_metrics
+
+        backend_name = type(self).name
+        start = _obs_core.mark()
+        span = _obs_core.Span(
+            f"backend.{kind}", {"backend": backend_name, "n_edges": n_edges}
+        ).begin()
+        _DISPATCH_DEPTH += 1
+        try:
+            result = fn()
+        except BaseException as exc:
+            span.finish(error=type(exc).__name__)
+            raise
+        finally:
+            _DISPATCH_DEPTH -= 1
+        span.finish()
+        if _DISPATCH_DEPTH:
+            return result
+        if n_edges:
+            obs_metrics.count("edges_processed", int(n_edges))
+        _synthesize_phase_spans(span, result, backend_name)
+        try:
+            result.telemetry = obs_export.telemetry(
+                records=_obs_core.records_since(start)
+            )
+        except AttributeError:  # pragma: no cover - non-result return values
+            pass
+        return result
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         opts = {key: getattr(self, key) for key in type(self)._OPTIONS}
         if type(self).capabilities.supports_n_workers:
             opts["n_workers"] = self.n_workers
         inner = ", ".join(f"{k}={v!r}" for k, v in sorted(opts.items()))
         return f"<{type(self).__name__} name={type(self).name!r} {inner}>".replace(" >", ">")
+
+
+def _synthesize_phase_spans(span, result, backend_name: str) -> None:
+    """Turn a result's timing breakdown into child spans of the dispatch span.
+
+    The kernels report per-phase wall times (``preprocess``, ``projection``,
+    ``edge_pass``) but deliberately contain no span calls — instrumenting
+    them would put clock reads inside the paths the overhead gate protects.
+    The phases ran back-to-back, so laying them out sequentially from the
+    dispatch span's start reconstructs the real sub-structure; phases whose
+    sum would overrun the parent (a kernel that didn't follow the
+    convention) are dropped rather than drawn wrong.
+    """
+    timings = getattr(result, "timings", None)
+    if not timings:
+        return
+    t = span.t0
+    end = span.t0 + span.duration + 1e-9
+    for phase in ("preprocess", "projection", "edge_pass"):
+        dur = timings.get(phase)
+        if not dur or dur <= 0:
+            continue
+        if t + dur > end:
+            break
+        _obs_core.record_span(f"phase.{phase}", t, dur, {"backend": backend_name})
+        t += dur
 
 
 #: name -> backend class

@@ -58,6 +58,7 @@ from ..parallel.pool import (
     resolve_worker_count,
 )
 from ..analysis.annotations import hot_path
+from ..obs import trace
 from ..parallel.shm import SharedArrayHandle, SharedArraySet, attach_many
 from .gee_vectorized import scatter_add
 from .projection import projection_from_scales, projection_scales
@@ -314,14 +315,15 @@ class _SharedGraph:
     """Shared-memory copy of one graph's adjacency arrays."""
 
     def __init__(self, csr: CSRGraph) -> None:
-        self.shm = SharedArraySet()
-        self.shm.share("out_indptr", csr.indptr)
-        self.shm.share("out_indices", csr.indices)
-        self.shm.share("out_weights", csr.weights)
-        self.shm.share("in_indptr", csr.in_indptr)
-        self.shm.share("in_indices", csr.in_indices)
-        self.shm.share("in_weights", csr.in_weights)
-        self.handles = self.shm.handles()
+        with trace("shm.ship", what="graph", n_edges=csr.n_edges):
+            self.shm = SharedArraySet()
+            self.shm.share("out_indptr", csr.indptr)
+            self.shm.share("out_indices", csr.indices)
+            self.shm.share("out_weights", csr.weights)
+            self.shm.share("in_indptr", csr.in_indptr)
+            self.shm.share("in_indices", csr.in_indices)
+            self.shm.share("in_weights", csr.in_weights)
+            self.handles = self.shm.handles()
 
     def close(self) -> None:
         self.shm.close()
@@ -349,12 +351,13 @@ class _SharedFused:
     """Shared-memory copy of one plan's fused-layout incidence arrays."""
 
     def __init__(self, fused) -> None:
-        self.shm = SharedArraySet()
-        self.shm.share("f_owner_flat", fused.owner_flat)
-        self.shm.share("f_partner", fused.partner)
-        if fused.weights is not None:
-            self.shm.share("f_weights", fused.weights)
-        self.handles = self.shm.handles()
+        with trace("shm.ship", what="fused-layout"):
+            self.shm = SharedArraySet()
+            self.shm.share("f_owner_flat", fused.owner_flat)
+            self.shm.share("f_partner", fused.partner)
+            if fused.weights is not None:
+                self.shm.share("f_weights", fused.weights)
+            self.handles = self.shm.handles()
 
     def close(self) -> None:
         self.shm.close()
@@ -631,10 +634,15 @@ def _run_ranges(
     out: Optional[np.ndarray],
 ) -> np.ndarray:
     """The timed edge pass: dispatch row ranges and collect ``Z``."""
-    pool.map(
-        _pool_task,
-        [(handles, row_lo, row_hi, k) for row_lo, row_hi in ranges],
-    )
+    with trace("parallel.dispatch", backend="parallel", n_tasks=len(ranges)):
+        pool.map(
+            _pool_task,
+            [(handles, row_lo, row_hi, k) for row_lo, row_hi in ranges],
+            labels=[
+                f"backend=parallel rows[{row_lo}:{row_hi}]"
+                for row_lo, row_hi in ranges
+            ],
+        )
     if out is None:
         return np.array(workspace.Z, dtype=np.float64, copy=True)
     np.copyto(out, workspace.Z)
@@ -792,13 +800,21 @@ def gee_parallel_chunked(
             handles = shm.handles()
             timings["preprocess"] = time.perf_counter() - t_share
             t_edge = time.perf_counter()
-            pool.map(
-                _chunked_pool_task,
-                [
-                    (handles, token, int(cuts[i]), int(cuts[i + 1]), k, i)
-                    for i in range(n_tasks)
-                ],
-            )
+            with trace(
+                "parallel.dispatch", backend="parallel-chunked", n_tasks=n_tasks
+            ):
+                pool.map(
+                    _chunked_pool_task,
+                    [
+                        (handles, token, int(cuts[i]), int(cuts[i + 1]), k, i)
+                        for i in range(n_tasks)
+                    ],
+                    labels=[
+                        f"backend=parallel-chunked chunks[{int(cuts[i])}:"
+                        f"{int(cuts[i + 1])}) slot={i}"
+                        for i in range(n_tasks)
+                    ],
+                )
             Z_flat = plan.zeroed_output()
             np.sum(partials, axis=0, out=Z_flat)
             Z = Z_flat.reshape(n, k)
@@ -886,13 +902,20 @@ def _gee_parallel_fused(
         handles.update(workspace.handles)
         timings["preprocess"] += time.perf_counter() - t_share
         t_edge = time.perf_counter()
-        pool.map(
-            _fused_pool_task,
-            [
-                (handles, row_lo, row_hi, k, fused.rows_per_block, fully)
-                for row_lo, row_hi in ranges
-            ],
-        )
+        with trace(
+            "parallel.dispatch", backend="parallel-fused", n_tasks=len(ranges)
+        ):
+            pool.map(
+                _fused_pool_task,
+                [
+                    (handles, row_lo, row_hi, k, fused.rows_per_block, fully)
+                    for row_lo, row_hi in ranges
+                ],
+                labels=[
+                    f"backend=parallel-fused rows[{row_lo}:{row_hi}]"
+                    for row_lo, row_hi in ranges
+                ],
+            )
         Z = plan.output_matrix()
         np.copyto(Z, workspace.Z)
         workers = requested

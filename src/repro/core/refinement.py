@@ -39,6 +39,7 @@ import numpy as np
 
 from ..graph.facade import Graph, GraphLike
 from ..labels.kmeans import kmeans
+from ..obs import trace
 from .gee_vectorized import gee_vectorized, scatter_add
 from .result import EmbeddingResult
 from .validation import class_counts, inverse_class_counts
@@ -367,7 +368,13 @@ def gee_unsupervised(
             and float(np.mean(labels != labels_of_S)) > delta_threshold
         )
         if not delta or S_flat is None or refresh_due or too_many_changed:
-            result = run_full(labels)
+            reason = (
+                "cold"
+                if S_flat is None
+                else ("threshold" if too_many_changed else "scheduled")
+            )
+            with trace("refinement.full_pass", iteration=iteration, reason=reason):
+                result = run_full(labels)
             n_full += 1
             if delta:
                 counts = class_counts(labels, k).astype(np.float64)
@@ -377,7 +384,12 @@ def gee_unsupervised(
             Z = result.embedding
         else:
             assert labels_of_S is not None
-            _apply_label_delta(S_flat, plan, labels_of_S, labels)
+            with trace(
+                "refinement.delta_pass",
+                iteration=iteration,
+                changed=int(np.count_nonzero(labels != labels_of_S)),
+            ):
+                _apply_label_delta(S_flat, plan, labels_of_S, labels)
             labels_of_S = labels.copy()
             n_delta += 1
             inv = inverse_class_counts(class_counts(labels, k))

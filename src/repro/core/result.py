@@ -65,6 +65,10 @@ class EmbeddingResult:
         #: The :class:`~repro.tune.ExecutionChoice` behind a
         #: ``backend="auto"`` run (``None`` for explicitly-picked backends).
         self.execution_choice = execution_choice
+        #: Compact telemetry summary of the run (top spans + counters),
+        #: attached by the backend dispatch layer when ``repro.obs`` tracing
+        #: is enabled; ``None`` otherwise.
+        self.telemetry: Optional[Dict] = None
 
     @property
     def projection(self) -> np.ndarray:
@@ -121,6 +125,7 @@ class EmbeddingResult:
             layout=self.layout,
             execution_choice=self.execution_choice,
         )
+        clone.telemetry = self.telemetry
         return clone
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -3,15 +3,22 @@
 Follows the optimisation-guide workflow: measure before comparing, repeat
 measurements and keep the minimum (least-noise estimate of the true cost),
 and keep the harness code out of the timed region.
+
+Measurements ride the :mod:`repro.obs` span substrate: each timed region
+is a :class:`repro.obs.Span` (same ``perf_counter`` clock), so when tracing
+is enabled harness timings land in the exported timeline as
+``timer/<label>`` spans for free.  With tracing off a span measures but
+records nothing, so the public API and its overhead are unchanged.
 """
 
 from __future__ import annotations
 
 import gc
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List
+
+from ..obs import Span
 
 __all__ = ["Timer", "time_callable", "TimingRecord"]
 
@@ -55,11 +62,12 @@ class Timer:
     def measure(self, label: str) -> Iterator[None]:
         """Context manager timing one region under ``label``."""
         record = self.records.setdefault(label, TimingRecord(label))
-        start = time.perf_counter()
+        span = Span(f"timer/{label}").begin()
         try:
             yield
         finally:
-            record.samples.append(time.perf_counter() - start)
+            span.finish()
+            record.samples.append(span.duration)
 
     def best(self, label: str) -> float:
         """Best (minimum) time recorded for ``label``."""
@@ -80,7 +88,8 @@ def time_callable(
     """
     if repeats <= 0:
         raise ValueError("repeats must be positive")
-    record = TimingRecord(label=getattr(fn, "__name__", "callable"))
+    label = getattr(fn, "__name__", "callable")
+    record = TimingRecord(label=label)
     for _ in range(warmup):
         fn()
     was_enabled = gc.isenabled()
@@ -88,9 +97,10 @@ def time_callable(
         gc.disable()
     try:
         for _ in range(repeats):
-            start = time.perf_counter()
+            span = Span(f"timer/{label}").begin()
             fn()
-            record.samples.append(time.perf_counter() - start)
+            span.finish()
+            record.samples.append(span.duration)
     finally:
         if disable_gc and was_enabled:
             gc.enable()

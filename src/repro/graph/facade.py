@@ -27,6 +27,8 @@ from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from .csr import CSRGraph
 from .edgelist import EdgeList
 
@@ -388,33 +390,46 @@ class Graph:
             key = k if layout == "none" else (k, layout)
         cached = self._plans.get(key)
         if cached is not None:
+            obs_metrics.count("plan_cache.hits")
             return cached
+        obs_metrics.count("plan_cache.misses")
         if len(self._plans) >= self._MAX_PLANS:
             # Drop the oldest plan (insertion order) — K sweeps beyond the
             # cap would otherwise pin one flat-index pair + buffer per K.
             self._plans.pop(next(iter(self._plans)))
-        if chunked:
-            from ..core.plan import ChunkedPlan
+        with obs_trace(
+            "plan.compile",
+            K=k,
+            layout=layout,
+            chunked=chunked,
+            n_edges=self.n_edges,
+        ):
+            if chunked:
+                from ..core.plan import ChunkedPlan
 
-            if layout == "sorted":
-                from ..core.plan import sorted_incidence
+                if layout == "sorted":
+                    from ..core.plan import sorted_incidence
 
-                edges = self.edges
-                owner, partner, w2 = sorted_incidence(
-                    edges.src, edges.dst, edges.weights
-                )
-                source = ChunkedEdgeSource(
-                    owner, partner, w2, self.n_vertices, chunk_edges=resolved_chunk
+                    edges = self.edges
+                    owner, partner, w2 = sorted_incidence(
+                        edges.src, edges.dst, edges.weights
+                    )
+                    source = ChunkedEdgeSource(
+                        owner,
+                        partner,
+                        w2,
+                        self.n_vertices,
+                        chunk_edges=resolved_chunk,
+                    )
+                else:
+                    source = ChunkedEdgeSource.from_edgelist(
+                        self.edges, chunk_edges=resolved_chunk
+                    )
+                plan = ChunkedPlan(
+                    source, k, graph=self, fingerprint=fingerprint, layout=layout
                 )
             else:
-                source = ChunkedEdgeSource.from_edgelist(
-                    self.edges, chunk_edges=resolved_chunk
-                )
-            plan = ChunkedPlan(
-                source, k, graph=self, fingerprint=fingerprint, layout=layout
-            )
-        else:
-            plan = EmbedPlan(self, k, fingerprint=fingerprint, layout=layout)
+                plan = EmbedPlan(self, k, fingerprint=fingerprint, layout=layout)
         self._plans[key] = plan
         return plan
 
@@ -439,7 +454,8 @@ class Graph:
         key = max(1, min(requested, self.n_vertices)) if self.n_vertices else 1
         sharded = self._sharded.get(key)
         if sharded is None:
-            sharded = ShardedGraph(self, key)
+            with obs_trace("shard.compile", n_shards=key, n_edges=self.n_edges):
+                sharded = ShardedGraph(self, key)
             self._sharded[key] = sharded
         return sharded
 

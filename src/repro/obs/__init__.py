@@ -1,0 +1,95 @@
+"""``repro.obs`` — zero-overhead tracing, metrics and drift detection.
+
+Quickstart::
+
+    import repro.obs as obs
+
+    obs.start_trace("trace.json")     # or: REPRO_TRACE=trace.json python ...
+    result = graph.embed(labels, n_classes=50, backend="auto")
+    print(obs.format_summary())       # text table of spans by inclusive time
+    obs.stop_trace()                  # writes Perfetto-compatible JSON
+
+Everything is off by default: until :func:`enable` / :func:`start_trace`
+(or ``REPRO_TRACE``) flips the module flag, each instrumentation site
+costs one boolean check and allocates nothing.  See
+``docs/observability.md`` for span naming conventions, exporter formats
+and the drift-report workflow, and ``python -m repro.obs --help`` for the
+``summarize`` / ``drift`` CLI.
+"""
+
+from __future__ import annotations
+
+from .core import (
+    CLOCK,
+    MAX_SPANS,
+    Span,
+    clear,
+    disable,
+    dropped,
+    enable,
+    enabled,
+    mark,
+    record_event,
+    record_span,
+    records_since,
+    snapshot,
+    trace,
+    traced,
+)
+from .drift import (
+    drift_log_path,
+    drift_report,
+    flush_drift_records,
+    format_drift_report,
+    load_drift_records,
+    record_auto_run,
+)
+from .export import (
+    aggregate,
+    format_summary,
+    start_trace,
+    stop_trace,
+    telemetry,
+    to_trace_events,
+    write_trace,
+)
+from .export import _env_trace_path
+from . import metrics
+
+__all__ = [
+    "CLOCK",
+    "MAX_SPANS",
+    "Span",
+    "trace",
+    "traced",
+    "enable",
+    "disable",
+    "enabled",
+    "record_event",
+    "record_span",
+    "mark",
+    "records_since",
+    "snapshot",
+    "clear",
+    "dropped",
+    "metrics",
+    "start_trace",
+    "stop_trace",
+    "to_trace_events",
+    "write_trace",
+    "aggregate",
+    "format_summary",
+    "telemetry",
+    "record_auto_run",
+    "flush_drift_records",
+    "load_drift_records",
+    "drift_log_path",
+    "drift_report",
+    "format_drift_report",
+]
+
+# REPRO_TRACE=path arms tracing for the whole process at import time.
+_env_path = _env_trace_path()
+if _env_path is not None:  # pragma: no cover - exercised via subprocess tests
+    start_trace(_env_path)
+del _env_path

@@ -1,0 +1,314 @@
+"""The span-tracing substrate behind :mod:`repro.obs`.
+
+Design constraints, in priority order:
+
+1. **The disabled path is a no-op fast path.**  Every instrumentation site
+   calls :func:`trace` (or checks :data:`_ENABLED` directly); when tracing
+   is off that is one module-global read followed by returning a shared
+   singleton — no allocation, no string formatting, no clock read.  The
+   overhead gate (``benchmarks/bench_obs_overhead.py``) holds the
+   instrumented plan path within 2% of the bare kernel with tracing off.
+2. **One clock, one code path.**  :data:`CLOCK` is ``time.perf_counter``
+   (monotonic, shared across ``fork`` on Linux, so parent and worker
+   timestamps land on one timeline); :class:`Span` is the only thing that
+   reads it, and :class:`repro.eval.timing.Timer` rides the same class.
+3. **Bounded memory.**  Completed spans append to a per-process ring
+   buffer capped at :data:`MAX_SPANS`; overflow drops the newest records
+   and counts them (:func:`dropped`) instead of growing without bound.
+
+Span records are plain tuples ``(kind, name, t0, dur, pid, tid, attrs)``
+with ``kind`` ``"X"`` (complete span) or ``"i"`` (instant event) — the
+same vocabulary as the Chrome trace-event format the exporter emits —
+so they pickle cheaply through the worker result queues.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "CLOCK",
+    "MAX_SPANS",
+    "Span",
+    "trace",
+    "traced",
+    "enable",
+    "disable",
+    "enabled",
+    "record_span",
+    "record_event",
+    "mark",
+    "records_since",
+    "snapshot",
+    "drain_for_ship",
+    "absorb",
+    "clear",
+    "dropped",
+]
+
+#: The one clock every span and every :class:`repro.eval.timing.Timer`
+#: measurement reads.  ``perf_counter`` is CLOCK_MONOTONIC on Linux, which
+#: survives ``fork`` with the same epoch — cross-process spans merge onto
+#: one timeline without offset arithmetic.
+CLOCK = time.perf_counter
+
+#: Ring-buffer capacity (completed records per process).  Beyond this,
+#: new records are dropped and counted rather than grown without bound.
+MAX_SPANS = 1 << 16
+
+#: The module-level tracing flag — the single check every span pays when
+#: tracing is disabled.  Toggled only by :func:`enable` / :func:`disable`
+#: (and per-task inside pooled workers); read directly (``core._ENABLED``)
+#: by the hottest instrumentation sites.
+_ENABLED = False
+
+_BUFFER: List[tuple] = []
+_DROPPED = 0
+#: Guards structural buffer operations (drain/absorb/clear); plain appends
+#: are GIL-atomic and stay lock-free.
+_LOCK = threading.Lock()
+
+
+def enabled() -> bool:
+    """Whether span recording is currently on."""
+    return _ENABLED
+
+
+def enable() -> None:
+    """Turn span and metric recording on (process-wide)."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable() -> None:
+    """Turn span and metric recording off (records are kept, not cleared)."""
+    global _ENABLED
+    _ENABLED = False
+
+
+def record_span(
+    name: str,
+    t0: float,
+    dur: float,
+    attrs: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Append one completed span record (caller already checked the flag)."""
+    global _DROPPED
+    if len(_BUFFER) >= MAX_SPANS:
+        _DROPPED += 1
+        return
+    _BUFFER.append(("X", name, t0, dur, os.getpid(), threading.get_ident(), attrs))
+
+
+def record_event(name: str, **attrs: Any) -> None:
+    """Record an instant event (e.g. a refresh decision, a task failure).
+
+    No-op while tracing is disabled.
+    """
+    global _DROPPED
+    if not _ENABLED:
+        return
+    if len(_BUFFER) >= MAX_SPANS:
+        _DROPPED += 1
+        return
+    _BUFFER.append(
+        ("i", name, CLOCK(), 0.0, os.getpid(), threading.get_ident(), attrs or None)
+    )
+
+
+class Span:
+    """An always-measuring timed region.
+
+    ``Span`` reads the clock unconditionally and *records* into the ring
+    buffer only when tracing is enabled at :meth:`finish` time — this is
+    the shared code path between :func:`trace` (which never constructs a
+    ``Span`` while disabled) and :class:`repro.eval.timing.Timer` (which
+    always needs the duration).  Usable as a context manager or via the
+    explicit :meth:`begin` / :meth:`finish` pair.
+    """
+
+    __slots__ = ("name", "attrs", "t0", "duration")
+
+    def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.t0 = 0.0
+        self.duration = 0.0
+
+    def begin(self) -> "Span":
+        self.t0 = CLOCK()
+        return self
+
+    def finish(self, error: Optional[str] = None) -> float:
+        """Stop the clock; record if tracing is enabled.  Returns the duration."""
+        self.duration = CLOCK() - self.t0
+        if _ENABLED:
+            attrs = self.attrs
+            if error is not None:
+                attrs = dict(attrs) if attrs else {}
+                attrs["error"] = error
+            record_span(self.name, self.t0, self.duration, attrs)
+        return self.duration
+
+    def annotate(self, **attrs: Any) -> "Span":
+        """Attach/override attributes before the span completes."""
+        if self.attrs is None:
+            self.attrs = attrs
+        else:
+            self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        return self.begin()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.finish(error=None if exc_type is None else exc_type.__name__)
+        return False
+
+
+class _NoopSpan:
+    """The shared do-nothing span returned by :func:`trace` while disabled.
+
+    A single module-level instance: entering/exiting it allocates nothing
+    and formats nothing.
+    """
+
+    __slots__ = ()
+
+    def begin(self) -> "_NoopSpan":
+        return self
+
+    def finish(self, error: Optional[str] = None) -> float:
+        return 0.0
+
+    def annotate(self, **attrs: Any) -> "_NoopSpan":
+        return self
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+def trace(name: str, **attrs: Any):
+    """A span context manager over a named region (the public entry point).
+
+    >>> with trace("plan.compile", K=50, layout="sorted"):
+    ...     compile_the_plan()                            # doctest: +SKIP
+
+    While tracing is disabled this returns a shared no-op span after one
+    module-flag check — no allocation and no string formatting happen at
+    the call site beyond evaluating the (already-cheap) arguments.
+    """
+    if not _ENABLED:
+        return _NOOP
+    return Span(name, attrs or None)
+
+
+def traced(name: Optional[Callable] = None, **static_attrs: Any):
+    """Decorator form of :func:`trace`.
+
+    Use bare (``@traced`` — span named after the function) or configured
+    (``@traced("embed.python", backend="python")``).  The wrapper checks
+    the module flag first, so decorated functions pay one boolean test
+    per call while tracing is off.
+    """
+
+    def wrap(fn: Callable, label: str) -> Callable:
+        attrs = static_attrs or None
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any):
+            if not _ENABLED:
+                return fn(*args, **kwargs)
+            with Span(label, dict(attrs) if attrs else None):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    if callable(name):  # @traced with no arguments
+        return wrap(name, name.__qualname__)
+
+    def decorator(fn: Callable) -> Callable:
+        return wrap(fn, name or fn.__qualname__)
+
+    return decorator
+
+
+# --------------------------------------------------------------------------- #
+# Buffer access and cross-process merge
+# --------------------------------------------------------------------------- #
+def mark() -> int:
+    """Current buffer position — pair with :func:`records_since`."""
+    return len(_BUFFER)
+
+def records_since(position: int) -> List[tuple]:
+    """Records appended since :func:`mark` returned ``position``."""
+    return _BUFFER[position:]
+
+
+def snapshot() -> List[tuple]:
+    """A copy of every record collected so far (merged timeline order
+    is by start time; workers' records land where :func:`absorb` put them)."""
+    return list(_BUFFER)
+
+
+def dropped() -> int:
+    """Records discarded because the ring buffer was full."""
+    return _DROPPED
+
+
+def clear() -> None:
+    """Empty the buffer and reset the dropped counter."""
+    global _DROPPED
+    with _LOCK:
+        _BUFFER.clear()
+        _DROPPED = 0
+
+
+def drain_for_ship() -> Optional[Tuple[List[tuple], Dict[str, float]]]:
+    """Drain this process's records + counters for shipping to a parent.
+
+    Called by pooled/forked workers after each task; returns ``None`` when
+    there is nothing to ship (so the result-queue payload stays tiny).
+    """
+    from . import metrics
+
+    with _LOCK:
+        spans = list(_BUFFER)
+        _BUFFER.clear()
+    counters = metrics.drain_counters()
+    if not spans and not counters:
+        return None
+    return spans, counters
+
+
+def absorb(payload: Optional[Tuple[List[tuple], Dict[str, float]]]) -> None:
+    """Merge a worker's shipped records into this process's buffer.
+
+    Records keep the worker's pid/tid, so the exported timeline shows each
+    worker as its own track; the shared monotonic clock (see :data:`CLOCK`)
+    keeps their timestamps directly comparable with the parent's.
+    """
+    global _DROPPED
+    if not payload:
+        return
+    spans, counters = payload
+    with _LOCK:
+        room = MAX_SPANS - len(_BUFFER)
+        if room < len(spans):
+            _DROPPED += len(spans) - max(0, room)
+            spans = spans[: max(0, room)]
+        _BUFFER.extend(spans)
+    if counters:
+        from . import metrics
+
+        metrics.merge_counters(counters)

@@ -1,0 +1,220 @@
+"""Exporters: Chrome trace-event JSON, text summaries, telemetry dicts.
+
+Three consumers of the span buffer:
+
+* :func:`write_trace` — a ``chrome://tracing`` / Perfetto-compatible
+  trace-event JSON file (``{"traceEvents": [...]}`` with ``ph: "X"``
+  complete events, timestamps in microseconds, one ``pid``/``tid`` track
+  per process/thread).  ``REPRO_TRACE=path`` (read at ``repro.obs``
+  import) or :func:`start_trace` arms it; the file is written at
+  interpreter exit or on :func:`stop_trace`.
+* :func:`format_summary` — a text table of spans aggregated by name
+  (count, inclusive total, mean, max), what the
+  ``python -m repro.obs summarize`` CLI prints.
+* :func:`telemetry` — the compact dict attached to
+  ``EmbeddingResult.telemetry`` and optionally embedded in
+  ``BENCH_*.json`` files: the top-N spans by inclusive time plus the
+  counter table.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from . import core, metrics
+
+__all__ = [
+    "start_trace",
+    "stop_trace",
+    "to_trace_events",
+    "write_trace",
+    "aggregate",
+    "format_summary",
+    "telemetry",
+]
+
+_TRACE_PATH: Optional[Path] = None
+_ATEXIT_ARMED = False
+
+
+def start_trace(path: Optional[Union[str, Path]] = None) -> None:
+    """Enable tracing; optionally arm an at-exit trace-file write.
+
+    With ``path`` the collected spans are written there when the process
+    exits (or earlier via :func:`stop_trace`) — the programmatic
+    equivalent of launching with ``REPRO_TRACE=path``.
+    """
+    global _TRACE_PATH, _ATEXIT_ARMED
+    core.enable()
+    if path is not None:
+        _TRACE_PATH = Path(path)
+        if not _ATEXIT_ARMED:
+            _ATEXIT_ARMED = True
+            atexit.register(_flush_at_exit)
+
+
+def stop_trace(path: Optional[Union[str, Path]] = None) -> Optional[Path]:
+    """Disable tracing and write the trace file; returns the path written.
+
+    ``path`` overrides the one given to :func:`start_trace` /
+    ``REPRO_TRACE``; with neither, nothing is written (``None`` returned).
+    The buffer is left intact for further exports.
+    """
+    global _TRACE_PATH
+    core.disable()
+    target = Path(path) if path is not None else _TRACE_PATH
+    _TRACE_PATH = None
+    if target is None:
+        return None
+    return write_trace(target)
+
+
+def _flush_at_exit() -> None:  # pragma: no cover - exercised via subprocess
+    if _TRACE_PATH is not None and core.snapshot():
+        try:
+            write_trace(_TRACE_PATH)
+        except OSError:
+            pass
+
+
+def to_trace_events(records: Optional[Sequence[tuple]] = None) -> List[Dict]:
+    """Convert span records to Chrome trace-event dicts (ts/dur in µs)."""
+    events: List[Dict] = []
+    for kind, name, t0, dur, pid, tid, attrs in (
+        core.snapshot() if records is None else records
+    ):
+        event: Dict = {
+            "name": name,
+            "cat": "repro",
+            "ph": kind,
+            "ts": t0 * 1e6,
+            "pid": pid,
+            "tid": tid,
+        }
+        if kind == "X":
+            event["dur"] = dur * 1e6
+        else:
+            event["s"] = "t"  # instant event, thread-scoped
+        if attrs:
+            event["args"] = {k: _jsonable(v) for k, v in attrs.items()}
+        events.append(event)
+    return events
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def write_trace(
+    path: Union[str, Path], records: Optional[Sequence[tuple]] = None
+) -> Path:
+    """Write the trace-event JSON file and return its path."""
+    path = Path(path)
+    payload = {
+        "traceEvents": to_trace_events(records),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "counters": metrics.counters(),
+            "gauges": metrics.gauges(),
+            "histograms": metrics.histograms(),
+            "dropped_spans": core.dropped(),
+        },
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=1)
+        fh.write("\n")
+    return path
+
+
+def aggregate(records: Optional[Sequence[tuple]] = None) -> List[Dict]:
+    """Spans aggregated by name, sorted by inclusive total (descending).
+
+    Each row: ``{name, count, total_s, mean_s, max_s, pids}``.  Instant
+    events aggregate with ``total_s`` 0 (their ``count`` is still useful —
+    refresh decisions, failures).
+    """
+    if records is None:
+        records = core.snapshot()
+    rows: Dict[str, Dict] = {}
+    for kind, name, _t0, dur, pid, _tid, _attrs in records:
+        row = rows.get(name)
+        if row is None:
+            row = rows[name] = {
+                "name": name,
+                "count": 0,
+                "total_s": 0.0,
+                "max_s": 0.0,
+                "pids": set(),
+            }
+        row["count"] += 1
+        if kind == "X":
+            row["total_s"] += dur
+            row["max_s"] = max(row["max_s"], dur)
+        row["pids"].add(pid)
+    out = []
+    for row in sorted(rows.values(), key=lambda r: -r["total_s"]):
+        row["mean_s"] = row["total_s"] / row["count"] if row["count"] else 0.0
+        row["pids"] = sorted(row["pids"])
+        out.append(row)
+    return out
+
+
+def format_summary(
+    records: Optional[Sequence[tuple]] = None, *, top: Optional[int] = None
+) -> str:
+    """A text table of the aggregated spans (the ``summarize`` CLI output)."""
+    rows = aggregate(records)
+    if top is not None:
+        rows = rows[:top]
+    if not rows:
+        return "no spans recorded"
+    name_w = max(len(r["name"]) for r in rows)
+    lines = [
+        f"{'span':<{name_w}}  {'count':>7}  {'total_ms':>10}  "
+        f"{'mean_ms':>10}  {'max_ms':>10}  procs"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['name']:<{name_w}}  {r['count']:>7}  {r['total_s'] * 1e3:>10.3f}  "
+            f"{r['mean_s'] * 1e3:>10.3f}  {r['max_s'] * 1e3:>10.3f}  {len(r['pids'])}"
+        )
+    dropped = core.dropped() if records is None else 0
+    if dropped:
+        lines.append(f"({dropped} spans dropped: ring buffer full)")
+    return "\n".join(lines)
+
+
+def telemetry(
+    *, top: int = 3, records: Optional[Sequence[tuple]] = None
+) -> Dict:
+    """The compact telemetry attachment: top-N spans + counters.
+
+    What ``EmbeddingResult.telemetry`` carries and what
+    ``write_bench_json`` embeds when a benchmark runs with tracing on.
+    """
+    rows = aggregate(records)[:top]
+    return {
+        "top_spans": [
+            {
+                "name": r["name"],
+                "count": r["count"],
+                "total_s": r["total_s"],
+                "mean_s": r["mean_s"],
+            }
+            for r in rows
+        ],
+        "counters": metrics.counters(),
+    }
+
+
+def _env_trace_path() -> Optional[str]:
+    """The ``REPRO_TRACE`` environment value, if set and non-empty."""
+    value = os.environ.get("REPRO_TRACE")
+    return value or None

@@ -1,0 +1,127 @@
+"""The metrics registry: counters, gauges and histograms.
+
+Counters accumulate monotonically (``edges_processed``,
+``shm.bytes_moved``, ``plan_cache.hits``); gauges track a current level
+(``shm.segments_live``); histograms keep count/total/min/max of observed
+values (e.g. per-dispatch task counts).  Everything is gated on the same
+module flag as span tracing (:data:`repro.obs.core._ENABLED`), so a
+disabled session pays one boolean check per call site and records nothing
+— collection starts at :func:`repro.obs.enable` time, which is also the
+semantics of the gauges (they reflect activity *since* enabling, not
+absolute process state).
+
+Worker processes accumulate their own counters; the pool ships them back
+with the span payload and :func:`merge_counters` folds them into the
+parent's registry, so cross-process totals (bytes through shm, edges
+processed per worker) end up in one place.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from . import core
+
+__all__ = [
+    "count",
+    "gauge_set",
+    "gauge_add",
+    "observe",
+    "counters",
+    "gauges",
+    "histograms",
+    "drain_counters",
+    "merge_counters",
+    "reset",
+]
+
+_COUNTERS: Dict[str, float] = {}
+_GAUGES: Dict[str, float] = {}
+#: name -> [count, total, min, max]
+_HISTS: Dict[str, List[float]] = {}
+_LOCK = threading.Lock()
+
+
+def count(name: str, value: float = 1) -> None:
+    """Increment a monotonic counter (no-op while observability is off)."""
+    if not core._ENABLED:
+        return
+    _COUNTERS[name] = _COUNTERS.get(name, 0) + value
+
+
+def gauge_set(name: str, value: float) -> None:
+    """Set a gauge to an absolute level."""
+    if not core._ENABLED:
+        return
+    _GAUGES[name] = value
+
+
+def gauge_add(name: str, delta: float) -> None:
+    """Move a gauge up or down (e.g. live shm segments +1 / -1)."""
+    if not core._ENABLED:
+        return
+    _GAUGES[name] = _GAUGES.get(name, 0) + delta
+
+
+def observe(name: str, value: float) -> None:
+    """Record one observation into a histogram (count/total/min/max)."""
+    if not core._ENABLED:
+        return
+    hist = _HISTS.get(name)
+    if hist is None:
+        _HISTS[name] = [1, value, value, value]
+    else:
+        hist[0] += 1
+        hist[1] += value
+        hist[2] = min(hist[2], value)
+        hist[3] = max(hist[3], value)
+
+
+def counters() -> Dict[str, float]:
+    """A copy of the counter table."""
+    return dict(_COUNTERS)
+
+
+def gauges() -> Dict[str, float]:
+    """A copy of the gauge table."""
+    return dict(_GAUGES)
+
+
+def histograms() -> Dict[str, Dict[str, float]]:
+    """Histograms as ``{name: {count, total, min, max, mean}}``."""
+    out = {}
+    for name, (n, total, lo, hi) in _HISTS.items():
+        out[name] = {
+            "count": n,
+            "total": total,
+            "min": lo,
+            "max": hi,
+            "mean": total / n if n else float("nan"),
+        }
+    return out
+
+
+def drain_counters() -> Dict[str, float]:
+    """Return and clear the counter table (worker → parent shipping)."""
+    with _LOCK:
+        out = dict(_COUNTERS)
+        _COUNTERS.clear()
+    return out
+
+
+def merge_counters(shipped: Optional[Dict[str, float]]) -> None:
+    """Fold a worker's shipped counters into this process's registry."""
+    if not shipped:
+        return
+    with _LOCK:
+        for name, value in shipped.items():
+            _COUNTERS[name] = _COUNTERS.get(name, 0) + value
+
+
+def reset() -> None:
+    """Clear every counter, gauge and histogram."""
+    with _LOCK:
+        _COUNTERS.clear()
+        _GAUGES.clear()
+        _HISTS.clear()

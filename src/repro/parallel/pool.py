@@ -17,12 +17,36 @@ import queue
 import traceback
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from ..obs import core as _obs
+
 __all__ = [
     "ForkWorkerPool",
+    "WorkerTaskError",
     "effective_worker_count",
     "resolve_worker_count",
     "fork_available",
 ]
+
+
+class WorkerTaskError(RuntimeError):
+    """A task failed inside a pooled worker.
+
+    Carries enough context to identify *which* piece of work failed —
+    ``task_id`` (position in the submitted batch) and ``label`` (the
+    caller-supplied description: shard index, chunk range, backend name) —
+    on top of the worker-side traceback embedded in the message.
+    Subclasses :class:`RuntimeError`, which is what :meth:`ForkWorkerPool.map`
+    historically raised.
+    """
+
+    def __init__(self, task_id: int, label: Optional[str], worker_traceback: str):
+        self.task_id = task_id
+        self.label = label
+        self.worker_traceback = worker_traceback
+        where = f"worker task {task_id}"
+        if label:
+            where += f" ({label})"
+        super().__init__(f"{where} failed:\n{worker_traceback}")
 
 
 def fork_available() -> bool:
@@ -91,6 +115,10 @@ def _worker_main(
     result_queue: "mp.Queue",
 ) -> None:
     """Worker loop: run the initialiser once, then serve tasks until None."""
+    # A forked worker inherits the parent's span buffer and tracing flag;
+    # drop both so this process only ever ships spans it produced itself.
+    _obs.clear()
+    _obs.disable()
     try:
         context: Dict[str, Any] = {}
         if init_fn is not None:
@@ -103,12 +131,24 @@ def _worker_main(
         item = task_queue.get()
         if item is None:
             break
-        task_id, fn, args = item
+        task_id, fn, args, trace_on, label = item
+        # Mirror the parent's tracing flag for the duration of the task so
+        # instrumented code inside ``fn`` records into this worker's buffer.
+        if trace_on != _obs.enabled():
+            _obs.enable() if trace_on else _obs.disable()
+        span = None
+        if trace_on:
+            span = _obs.Span(
+                "worker.task", {"worker": worker_id, "label": label}
+            ).begin()
         try:
-            result = fn(context, *args)
-            result_queue.put((task_id, None, result))
+            result, err = fn(context, *args), None
         except BaseException:
-            result_queue.put((task_id, traceback.format_exc(), None))
+            result, err = None, traceback.format_exc()
+        if span is not None:
+            span.finish(error=None if err is None else "task failed")
+        payload = _obs.drain_for_ship() if trace_on else None
+        result_queue.put((task_id, err, result, payload))
 
 
 class ForkWorkerPool:
@@ -214,28 +254,61 @@ class ForkWorkerPool:
                 self._inline_context = {}
         return self._inline_context
 
-    def map(self, fn: Callable[..., Any], task_args: Sequence[tuple]) -> List[Any]:
+    def map(
+        self,
+        fn: Callable[..., Any],
+        task_args: Sequence[tuple],
+        *,
+        labels: Optional[Sequence[str]] = None,
+    ) -> List[Any]:
         """Run ``fn(context, *args)`` for every argument tuple.
 
         Results are returned in task order.  Tasks are distributed to idle
         workers dynamically (a shared queue), so uneven task costs
         self-balance — the same behaviour as a work-stealing scheduler at
         the granularity of one task.
+
+        ``labels`` (optional, same length as ``task_args``) describes each
+        task for diagnostics: a failing forked task raises
+        :class:`WorkerTaskError` carrying its label (shard index, chunk
+        range, backend name) so the error identifies *which* piece of work
+        failed, and the label lands on the worker's ``worker.task`` span.
         """
         if self._closed:
             raise RuntimeError("pool is closed")
         task_args = list(task_args)
+        if labels is not None and len(labels) != len(task_args):
+            raise ValueError(
+                f"labels length {len(labels)} != task count {len(task_args)}"
+            )
         if self._inline:
             context = self._ensure_inline_context()
-            return [fn(context, *args) for args in task_args]
+            results = []
+            for task_id, args in enumerate(task_args):
+                try:
+                    results.append(fn(context, *args))
+                except BaseException:
+                    # Inline tasks propagate the original exception unchanged
+                    # (no wrapping); the failure event still identifies the task.
+                    _obs.record_event(
+                        "worker.task_failed",
+                        task_id=task_id,
+                        label=labels[task_id] if labels else None,
+                        inline=True,
+                    )
+                    raise
+            return results
         assert self._task_queue is not None and self._result_queue is not None
+        trace_on = _obs.enabled()
         for task_id, args in enumerate(task_args):
-            self._task_queue.put((task_id, fn, args))
+            label = labels[task_id] if labels else None
+            self._task_queue.put((task_id, fn, args, trace_on, label))
         results: List[Any] = [None] * len(task_args)
         received = 0
+        failure: Optional[WorkerTaskError] = None
         while received < len(task_args):
             try:
-                task_id, err, value = self._result_queue.get(timeout=5.0)
+                task_id, err, value, payload = self._result_queue.get(timeout=5.0)
             except queue.Empty:
                 # No result in a while: make sure the workers are still alive,
                 # otherwise this map would wait forever.
@@ -246,12 +319,24 @@ class ForkWorkerPool:
                         f"(exit codes {[p.exitcode for p in dead]})"
                     )
                 continue
-            if err is not None:
-                raise RuntimeError(f"worker task {task_id} failed:\n{err}")
+            _obs.absorb(payload)
+            if err is not None and failure is None:
+                label = labels[task_id] if labels else None
+                _obs.record_event(
+                    "worker.task_failed", task_id=task_id, label=label
+                )
+                failure = WorkerTaskError(task_id, label, err)
             results[task_id] = value
             received += 1
+        if failure is not None:
+            raise failure
         return results
 
-    def run_on_all(self, fn: Callable[..., Any], *args: Any) -> List[Any]:
+    def run_on_all(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        labels: Optional[Sequence[str]] = None,
+    ) -> List[Any]:
         """Run the same task once per worker (e.g. barrier-style setup)."""
-        return self.map(fn, [tuple(args)] * self.n_workers)
+        return self.map(fn, [tuple(args)] * self.n_workers, labels=labels)

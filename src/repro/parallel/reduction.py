@@ -15,6 +15,8 @@ from typing import List, Sequence
 
 import numpy as np
 
+from ..obs import trace
+
 __all__ = ["sum_reduce", "tree_reduce", "inplace_accumulate"]
 
 
@@ -44,17 +46,18 @@ def tree_reduce(partials: Sequence[np.ndarray]) -> np.ndarray:
         raise ValueError("nothing to reduce")
     if len(partials) == 1:
         return partials[0].copy()
-    level: List[np.ndarray] = [p.copy() for p in partials]
-    while len(level) > 1:
-        nxt: List[np.ndarray] = []
-        for i in range(0, len(level) - 1, 2):
-            if level[i].shape != level[i + 1].shape:
-                raise ValueError("shape mismatch in reduction")
-            nxt.append(level[i] + level[i + 1])
-        if len(level) % 2 == 1:
-            nxt.append(level[-1])
-        level = nxt
-    return level[0]
+    with trace("tree_reduce", n_partials=len(partials)):
+        level: List[np.ndarray] = [p.copy() for p in partials]
+        while len(level) > 1:
+            nxt: List[np.ndarray] = []
+            for i in range(0, len(level) - 1, 2):
+                if level[i].shape != level[i + 1].shape:
+                    raise ValueError("shape mismatch in reduction")
+                nxt.append(level[i] + level[i + 1])
+            if len(level) % 2 == 1:
+                nxt.append(level[-1])
+            level = nxt
+        return level[0]
 
 
 def inplace_accumulate(target: np.ndarray, partials: Sequence[np.ndarray]) -> np.ndarray:

@@ -27,6 +27,8 @@ from typing import Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
+from ..obs import metrics as obs_metrics
+
 __all__ = ["SharedArrayHandle", "SharedArraySet", "attach", "attach_many"]
 
 
@@ -38,6 +40,7 @@ def _release_segments(segments: Dict[str, shared_memory.SharedMemory]) -> None:
     would keep the instance alive forever — exactly the leak the finalizer
     exists to prevent).
     """
+    obs_metrics.gauge_add("shm.segments_live", -len(segments))
     for seg in segments.values():
         try:
             seg.close()
@@ -133,6 +136,11 @@ class SharedArraySet:
         self._segments[name] = seg
         self._arrays[name] = view
         self._handles[name] = SharedArrayHandle(seg.name, tuple(shape), dtype.str)
+        obs_metrics.gauge_add("shm.segments_live", 1)
+        if initial is not None:
+            # Only staged copies count as data moved; zero/empty output
+            # allocations are freshly mapped pages, not interprocess traffic.
+            obs_metrics.count("shm.bytes_moved", nbytes)
         return view
 
     # ------------------------------------------------------------------ #

@@ -56,6 +56,7 @@ from ..core.projection import projection_from_scales, projection_scales
 from ..core.result import EmbeddingResult
 from ..core.validation import UNKNOWN_LABEL, validate_edges, validate_labels
 from ..graph.edgelist import EdgeList
+from ..obs import trace
 from ..parallel import (
     ForkWorkerPool,
     SharedArraySet,
@@ -204,22 +205,33 @@ def _shard_embed_task(
     for shard_id, row_lo, row_hi, affinity in shard_meta:
         if affinity % n_workers != worker_id or row_hi <= row_lo:
             continue
-        owner = _attached_view(handles[f"owner{shard_id}"])
-        partner = _attached_view(handles[f"partner{shard_id}"])
-        weights_handle = handles.get(f"weights{shard_id}")
-        weights = None if weights_handle is None else _attached_view(weights_handle)
-        accumulate_fused_rows_sorted(
-            out,
-            owner * k,
-            partner,
-            weights,
-            y,
-            k,
-            rows_per_block,
-            row_lo,
-            row_hi,
-            fully_labelled=fully_labelled,
-        )
+        try:
+            with trace(
+                "shard.accumulate", shard=shard_id, rows=row_hi - row_lo
+            ):
+                owner = _attached_view(handles[f"owner{shard_id}"])
+                partner = _attached_view(handles[f"partner{shard_id}"])
+                weights_handle = handles.get(f"weights{shard_id}")
+                weights = (
+                    None if weights_handle is None else _attached_view(weights_handle)
+                )
+                accumulate_fused_rows_sorted(
+                    out,
+                    owner * k,
+                    partner,
+                    weights,
+                    y,
+                    k,
+                    rows_per_block,
+                    row_lo,
+                    row_hi,
+                    fully_labelled=fully_labelled,
+                )
+        except BaseException as exc:
+            raise RuntimeError(
+                f"shard {shard_id} (rows [{row_lo}, {row_hi}), backend=sharded) "
+                f"failed on worker {worker_id}: {exc}"
+            ) from exc
 
 
 def _patch_shard_rows(
@@ -454,8 +466,22 @@ class ShardedGraph:
         nk = self.n_vertices * k
         partials = []
         for shard in self._shards:
+            spec = shard.spec
             part = np.zeros(nk, dtype=np.float64)
-            shard.accumulate_into(part, y, k, fully_labelled=fully)
+            try:
+                with trace(
+                    "shard.accumulate",
+                    shard=spec.shard_id,
+                    rows=spec.row_hi - spec.row_lo,
+                ):
+                    shard.accumulate_into(part, y, k, fully_labelled=fully)
+            except BaseException as exc:
+                # Same failure context the pooled task attaches, so callers
+                # see one shape of error regardless of execution path.
+                raise RuntimeError(
+                    f"shard {spec.shard_id} (rows [{spec.row_lo}, {spec.row_hi}), "
+                    f"backend=sharded) failed: {exc}"
+                ) from exc
             partials.append(part)
         return tree_reduce(partials).reshape(-1)
 
@@ -470,7 +496,22 @@ class ShardedGraph:
             (s.spec.shard_id, s.spec.row_lo, s.spec.row_hi, s.spec.worker_affinity)
             for s in self._shards
         )
-        pool.run_on_all(_shard_embed_task, handles, meta, k, fully, workers)
+        with trace(
+            "shard.dispatch", n_shards=self.n_shards, n_workers=workers
+        ):
+            pool.run_on_all(
+                _shard_embed_task,
+                handles,
+                meta,
+                k,
+                fully,
+                workers,
+                labels=[
+                    f"backend=sharded worker={i} "
+                    f"shards={[s.spec.shard_id for s in self._shards if s.spec.worker_affinity % workers == i]}"
+                    for i in range(workers)
+                ],
+            )
         return tree_reduce([partials[i] for i in range(workers)]).reshape(-1)
 
     # ------------------------------------------------------------------ #
@@ -551,10 +592,15 @@ class ShardedGraph:
             part = np.zeros(nk, dtype=np.float64)
             store = SegmentedEdgeStore.open(root / f"shard-{shard.spec.shard_id:05d}")
             source = store.source(chunk_edges=chunk_edges)
-            for owner, partner, w in source.iter_chunks():
-                yp = y[partner]
-                known = yp != UNKNOWN_LABEL
-                scatter_add(part, owner[known] * k + yp[known], w[known])
+            with trace(
+                "shard.stream",
+                shard=shard.spec.shard_id,
+                incidences=shard.spec.n_incidences,
+            ):
+                for owner, partner, w in source.iter_chunks():
+                    yp = y[partner]
+                    known = yp != UNKNOWN_LABEL
+                    scatter_add(part, owner[known] * k + yp[known], w[known])
             partials.append(part)
         S = tree_reduce(partials)
         Z = S.reshape(self.n_vertices, k)

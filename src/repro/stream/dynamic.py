@@ -43,6 +43,7 @@ import numpy as np
 from ..graph.edgelist import EdgeList
 from ..graph.facade import Graph, GraphLike
 from ..graph.io import ChunkedEdgeSource
+from ..obs import metrics as obs_metrics
 from .mutations import (
     MutationDelta,
     MutationLog,
@@ -269,6 +270,14 @@ class DynamicGraph:
             and self._staged_vertices == 0
         ):
             return None
+        # Staged call groups collapsing into this one atomic delta.
+        obs_metrics.count(
+            "dynamic.coalesced_mutations",
+            len(self._staged_add)
+            + len(self._staged_remove)
+            + len(self._staged_update)
+            + (1 if self._staged_vertices else 0),
+        )
         old_graph = self._graph
         edges = old_graph.edges
         n_before = int(edges.n_vertices)

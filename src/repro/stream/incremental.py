@@ -33,6 +33,8 @@ from typing import Optional, Union
 import numpy as np
 
 from ..analysis.annotations import hot_path
+from ..obs import metrics as obs_metrics
+from ..obs import record_event, trace
 from ..core.validation import (
     UNKNOWN_LABEL,
     class_counts,
@@ -233,7 +235,12 @@ class IncrementalEmbedding:
             plan = ChunkedPlan(source, k)
         else:
             plan = graph.plan(k)
-        result = self._backend.embed_with_plan(plan, self._y)
+        with trace(
+            "incremental.refresh",
+            version=self._dynamic.version,
+            n_edges=self._dynamic.n_edges,
+        ):
+            result = self._backend.embed_with_plan(plan, self._y)
         counts = class_counts(self._y, k).astype(np.float64)
         # Z is exactly the fresh-fit embedding; S recovers the raw sums the
         # subsequent patches maintain (Z·n_c inverts the kernel's 1/n_c
@@ -309,6 +316,9 @@ class IncrementalEmbedding:
         self._y = y_new
 
         if reason is not None:
+            obs_metrics.count("incremental.refresh_triggers")
+            obs_metrics.count(f"incremental.refresh_triggers.{reason}")
+            record_event("incremental.refresh_decision", reason=reason)
             self.refresh()
             self.n_updates += 1
             return UpdateReport(
@@ -324,7 +334,8 @@ class IncrementalEmbedding:
             src = np.concatenate([p[0] for p in parts])
             dst = np.concatenate([p[1] for p in parts])
             dw = np.concatenate([p[2] for p in parts])
-            self._backend.patch_sums(self._S.reshape(-1), src, dst, dw, y_new, k)
+            with trace("incremental.patch", delta_edges=patched, n_deltas=len(deltas)):
+                self._backend.patch_sums(self._S.reshape(-1), src, dst, dw, y_new, k)
             # repro: ignore[hot-path-alloc] O(Δ) touched-row set, not O(E)
             rows = np.unique(np.concatenate((src, dst)))
         else:

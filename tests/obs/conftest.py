@@ -1,0 +1,18 @@
+"""Obs-suite fixtures: every test starts and ends with a clean substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    obs.disable()
+    obs.clear()
+    obs.metrics.reset()
+    yield
+    obs.disable()
+    obs.clear()
+    obs.metrics.reset()

@@ -1,0 +1,93 @@
+"""The ``python -m repro.obs`` CLI surface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import drift
+from repro.obs.__main__ import main
+
+
+@pytest.fixture()
+def trace_file(tmp_path):
+    obs.enable()
+    with obs.trace("backend.embed", backend="vectorized"):
+        with obs.trace("phase.edge_pass"):
+            pass
+    obs.metrics.count("edges_processed", 42)
+    obs.disable()
+    path = obs.write_trace(tmp_path / "trace.json")
+    obs.clear()
+    obs.metrics.reset()
+    return path
+
+
+def test_summarize_prints_table_and_counters(trace_file, capsys):
+    assert main(["summarize", str(trace_file)]) == 0
+    out = capsys.readouterr().out
+    assert "backend.embed" in out
+    assert "phase.edge_pass" in out
+    assert "edges_processed = 42" in out
+
+
+def test_summarize_top_limits_rows(trace_file, capsys):
+    main(["summarize", str(trace_file), "--top", "1"])
+    out = capsys.readouterr().out
+    assert "backend.embed" in out
+    assert "phase.edge_pass" not in out.split("counters:")[0]
+
+
+def test_drift_no_probe_reports_recorded_runs(tmp_path, capsys):
+    log = tmp_path / "drift.jsonl"
+    log.write_text(
+        json.dumps(
+            {
+                "config": "vectorized:sorted",
+                "predicted_s": 0.01,
+                "observed_s": 0.05,
+                "n": 100,
+                "E": 1000,
+                "K": 5,
+            }
+        )
+        + "\n"
+    )
+    drift._PENDING.clear()
+    assert main(["drift", "--no-probe", "--log", str(log)]) == 0
+    out = capsys.readouterr().out
+    assert "vectorized:sorted" in out and "DRIFT" in out
+
+
+def test_drift_check_exit_code(tmp_path, capsys):
+    log = tmp_path / "drift.jsonl"
+    log.write_text(
+        json.dumps(
+            {
+                "config": "vectorized:sorted",
+                "predicted_s": 0.01,
+                "observed_s": 0.05,
+            }
+        )
+        + "\n"
+    )
+    drift._PENDING.clear()
+    assert main(["drift", "--no-probe", "--log", str(log), "--check"]) == 1
+    capsys.readouterr()
+    assert (
+        main(
+            ["drift", "--no-probe", "--log", str(log), "--check", "--threshold", "10"]
+        )
+        == 0
+    )
+
+
+def test_drift_json_output(tmp_path, capsys):
+    log = tmp_path / "empty.jsonl"
+    drift._PENDING.clear()
+    assert main(["drift", "--no-probe", "--log", str(log), "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["recalibrate"] is False
+    assert report["n_recorded_runs"] == 0

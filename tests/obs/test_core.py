@@ -1,0 +1,163 @@
+"""The span substrate: flag gating, record shape, the zero-alloc contract."""
+
+from __future__ import annotations
+
+import gc
+import os
+import threading
+import tracemalloc
+
+import pytest
+
+from repro import obs
+from repro.obs import core
+
+
+def test_disabled_trace_returns_shared_noop_singleton():
+    a = obs.trace("anything", k=1)
+    b = obs.trace("else")
+    assert a is b  # one module-level instance, no per-call allocation
+    with a:
+        pass
+    assert obs.snapshot() == []
+
+
+def test_enabled_trace_records_complete_span():
+    obs.enable()
+    with obs.trace("unit.work", k=50, layout="sorted"):
+        pass
+    records = obs.snapshot()
+    assert len(records) == 1
+    kind, name, t0, dur, pid, tid, attrs = records[0]
+    assert kind == "X"
+    assert name == "unit.work"
+    assert t0 > 0 and dur >= 0
+    assert pid == os.getpid()
+    assert tid == threading.get_ident()
+    assert attrs == {"k": 50, "layout": "sorted"}
+
+
+def test_span_error_attribute_on_exception():
+    obs.enable()
+    with pytest.raises(ValueError):
+        with obs.trace("failing.region"):
+            raise ValueError("boom")
+    (record,) = obs.snapshot()
+    assert record[6]["error"] == "ValueError"
+
+
+def test_span_measures_even_while_disabled():
+    span = core.Span("timed").begin()
+    duration = span.finish()
+    assert duration >= 0
+    assert span.duration == duration
+    assert obs.snapshot() == []  # measured, not recorded
+
+
+def test_flag_flip_mid_span_records_at_finish_time():
+    span = core.Span("late.enable").begin()
+    obs.enable()
+    span.finish()
+    assert [r[1] for r in obs.snapshot()] == ["late.enable"]
+
+
+def test_record_event_is_instant_and_gated():
+    obs.record_event("ignored.while.disabled")
+    assert obs.snapshot() == []
+    obs.enable()
+    obs.record_event("refresh.decision", reason="churn")
+    (record,) = obs.snapshot()
+    assert record[0] == "i"
+    assert record[3] == 0.0
+    assert record[6] == {"reason": "churn"}
+
+
+def test_traced_decorator_bare_and_configured():
+    @obs.traced
+    def plain():
+        return 1
+
+    @obs.traced("custom.name", backend="x")
+    def named():
+        return 2
+
+    assert plain() == 1 and named() == 2
+    assert obs.snapshot() == []
+    obs.enable()
+    assert plain() == 1 and named() == 2
+    names = [r[1] for r in obs.snapshot()]
+    assert names == [plain.__qualname__, "custom.name"]
+    attrs = obs.snapshot()[1][6]
+    assert attrs == {"backend": "x"}
+
+
+def test_ring_buffer_caps_and_counts_drops():
+    obs.enable()
+    for i in range(core.MAX_SPANS + 7):
+        core.record_span("s", 0.0, 0.0)
+    assert len(obs.snapshot()) == core.MAX_SPANS
+    assert obs.dropped() == 7
+    obs.clear()
+    assert obs.snapshot() == [] and obs.dropped() == 0
+
+
+def test_mark_and_records_since_window():
+    obs.enable()
+    with obs.trace("before"):
+        pass
+    pos = obs.mark()
+    with obs.trace("after"):
+        pass
+    assert [r[1] for r in obs.records_since(pos)] == ["after"]
+
+
+def test_drain_and_absorb_round_trip():
+    obs.enable()
+    with obs.trace("shipped"):
+        pass
+    obs.metrics.count("edges", 5)
+    payload = core.drain_for_ship()
+    assert payload is not None
+    assert obs.snapshot() == []  # drained
+    core.absorb(payload)
+    assert [r[1] for r in obs.snapshot()] == ["shipped"]
+    assert obs.metrics.counters()["edges"] == 5
+
+
+def test_drain_for_ship_empty_returns_none():
+    assert core.drain_for_ship() is None
+    core.absorb(None)  # tolerated
+
+
+def test_disabled_span_site_allocates_nothing():
+    """The tentpole contract: a disabled span is tracemalloc-invisible.
+
+    The snapshot comparison is filtered to the substrate's file: the noop
+    span must retain zero bytes across thousands of entries (the call
+    site's ephemeral kwargs dict is freed on return and never reaches a
+    snapshot; tracemalloc's own bookkeeping is out of scope).
+    """
+
+    def site():
+        with obs.trace("hot.seam", n_edges=1000, backend="vectorized"):
+            pass
+
+    obs.disable()
+    for _ in range(512):  # warm CPython small-object freelists
+        site()
+    gc.collect()
+    filters = [tracemalloc.Filter(True, core.__file__)]
+    tracemalloc.start()
+    try:
+        for _ in range(256):
+            site()
+        gc.collect()
+        before = tracemalloc.take_snapshot().filter_traces(filters)
+        for _ in range(4096):
+            site()
+        gc.collect()
+        after = tracemalloc.take_snapshot().filter_traces(filters)
+    finally:
+        tracemalloc.stop()
+    growth = sum(s.size_diff for s in after.compare_to(before, "lineno"))
+    assert growth == 0

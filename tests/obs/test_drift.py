@@ -1,0 +1,136 @@
+"""Cost-model drift: recording, persistence, the report's verdict."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import drift
+
+
+class FakeChoice:
+    """The ExecutionChoice surface record_auto_run consumes."""
+
+    def __init__(self, config="vectorized:sorted", predicted_s=0.01):
+        self.config = config
+        self.n_workers = 1
+        self.n_shards = None
+        self.predicted_s = predicted_s
+        self.source = "test"
+        self.predictions = {config: predicted_s}
+
+
+@pytest.fixture(autouse=True)
+def clean_pending():
+    drift._PENDING.clear()
+    yield
+    drift._PENDING.clear()
+
+
+def test_record_auto_run_appends_and_skips_unusable():
+    drift.record_auto_run(FakeChoice(), 0.02, 100, 1000, 5)
+    drift.record_auto_run(FakeChoice(), None, 100, 1000, 5)  # no timing
+    drift.record_auto_run(FakeChoice(), 0.0, 100, 1000, 5)  # zero
+    assert len(drift._PENDING) == 1
+    record = drift._PENDING[0]
+    assert record["config"] == "vectorized:sorted"
+    assert record["observed_s"] == 0.02
+    assert record["predicted_s"] == 0.01
+    assert (record["n"], record["E"], record["K"]) == (100, 1000, 5)
+
+
+def test_pending_is_bounded():
+    for _ in range(drift._MAX_PENDING + 10):
+        drift.record_auto_run(FakeChoice(), 0.02, 1, 1, 1)
+    assert len(drift._PENDING) == drift._MAX_PENDING
+
+
+def test_flush_and_load_round_trip(tmp_path):
+    log = tmp_path / "drift.jsonl"
+    drift.record_auto_run(FakeChoice(), 0.02, 100, 1000, 5)
+    assert drift.flush_drift_records(log) == log
+    assert drift._PENDING == []
+    lines = [json.loads(l) for l in log.read_text().splitlines()]
+    assert len(lines) == 1 and lines[0]["config"] == "vectorized:sorted"
+    # pending + disk merge
+    drift.record_auto_run(FakeChoice("parallel:sorted"), 0.03, 100, 1000, 5)
+    records = drift.load_drift_records(log)
+    assert [r["config"] for r in records] == ["vectorized:sorted", "parallel:sorted"]
+
+
+def test_flush_trims_log_to_cap(tmp_path):
+    log = tmp_path / "drift.jsonl"
+    log.write_text(
+        "\n".join(json.dumps({"config": "old", "i": i}) for i in range(drift._MAX_LOG_LINES))
+        + "\n"
+    )
+    drift.record_auto_run(FakeChoice(), 0.02, 1, 1, 1)
+    drift.flush_drift_records(log)
+    lines = log.read_text().splitlines()
+    assert len(lines) == drift._MAX_LOG_LINES
+    assert json.loads(lines[-1])["config"] == "vectorized:sorted"
+
+
+def test_flush_nothing_returns_none(tmp_path):
+    assert drift.flush_drift_records(tmp_path / "never.jsonl") is None
+
+
+def test_load_tolerates_garbage_lines(tmp_path):
+    log = tmp_path / "drift.jsonl"
+    log.write_text('not json\n{"config": "ok"}\n[1,2]\n\n')
+    assert [r["config"] for r in drift.load_drift_records(log)] == ["ok"]
+
+
+def test_passive_summary_groups_and_ratios():
+    records = [
+        {"config": "a", "predicted_s": 0.01, "observed_s": 0.02},
+        {"config": "a", "predicted_s": 0.01, "observed_s": 0.04},
+        {"config": "b", "predicted_s": 0.10, "observed_s": 0.10},
+        {"config": None, "predicted_s": 1, "observed_s": 1},  # skipped
+    ]
+    rows = {r["config"]: r for r in drift.passive_summary(records)}
+    assert rows["a"]["n_runs"] == 2
+    assert rows["a"]["ratio"] == pytest.approx(3.0)
+    assert rows["b"]["ratio"] == pytest.approx(1.0)
+
+
+def test_probe_shape_clamps_to_caps():
+    huge = [{"n": 10**9, "E": 10**9, "K": 10**4}]
+    assert drift._probe_shape(huge) == (
+        drift._PROBE_MAX_N,
+        drift._PROBE_MAX_E,
+        drift._PROBE_MAX_K,
+    )
+    assert drift._probe_shape([]) == drift._PROBE_DEFAULT
+
+
+def test_drift_report_without_probe_judges_recorded(tmp_path):
+    log = tmp_path / "drift.jsonl"
+    drift.record_auto_run(FakeChoice(predicted_s=0.01), 0.05, 100, 1000, 5)
+    drift.flush_drift_records(log)
+    report = drift.drift_report(threshold=2.0, probe=False, path=log)
+    assert report["recalibrate"] is True  # ratio 5x > 2x
+    healthy = drift.drift_report(threshold=10.0, probe=False, path=log)
+    assert healthy["recalibrate"] is False
+    text = drift.format_drift_report(report)
+    assert "DRIFT" in text and "repro.tune" in text
+    assert "vectorized:sorted" in text
+
+
+def test_drift_report_rejects_bad_threshold():
+    with pytest.raises(ValueError):
+        drift.drift_report(threshold=1.0, probe=False)
+
+
+def test_probe_candidates_covers_the_three_families():
+    rows = drift.probe_candidates(256, 2048, 4, repeats=1)
+    families = {r["config"].split(":")[0] for r in rows}
+    assert {"vectorized", "sharded"} <= families
+    from repro.parallel.pool import fork_available
+
+    if fork_available():
+        assert "parallel" in families
+    for r in rows:
+        assert r["observed_s"] > 0
+        assert r["ratio"] == pytest.approx(r["observed_s"] / r["predicted_s"])

@@ -1,0 +1,129 @@
+"""Exporters: trace-event schema, file round-trip, summaries, telemetry."""
+
+from __future__ import annotations
+
+import json
+
+from repro import obs
+from repro.obs import export
+from repro.obs.__main__ import _records_from_trace
+
+
+def _record_some_spans():
+    obs.enable()
+    with obs.trace("plan.compile", K=50, layout="sorted"):
+        pass
+    with obs.trace("backend.embed", backend="vectorized", n_edges=1000):
+        with obs.trace("phase.edge_pass"):
+            pass
+    obs.record_event("incremental.refresh_decision", reason="churn")
+    obs.metrics.count("edges_processed", 1000)
+    obs.disable()
+
+
+def test_trace_events_follow_the_chrome_schema():
+    _record_some_spans()
+    events = obs.to_trace_events()
+    assert len(events) == 4
+    for event in events:
+        assert event["cat"] == "repro"
+        assert event["ph"] in ("X", "i")
+        assert isinstance(event["ts"], float)
+        assert isinstance(event["pid"], int) and isinstance(event["tid"], int)
+        if event["ph"] == "X":
+            assert "dur" in event
+        else:
+            assert event["s"] == "t" and "dur" not in event
+    args = {e["name"]: e.get("args") for e in events}
+    assert args["plan.compile"] == {"K": 50, "layout": "sorted"}
+    assert args["incremental.refresh_decision"] == {"reason": "churn"}
+
+
+def test_non_jsonable_attrs_are_stringified(tmp_path):
+    obs.enable()
+    with obs.trace("odd.attr", shape=(3, 4)):
+        pass
+    obs.disable()
+    path = obs.write_trace(tmp_path / "t.json")
+    payload = json.loads(path.read_text())
+    (event,) = payload["traceEvents"]
+    assert event["args"]["shape"] == "(3, 4)"
+
+
+def test_trace_file_round_trip(tmp_path):
+    """write_trace → valid JSON → CLI reader reconstructs the records."""
+    _record_some_spans()
+    original = obs.snapshot()
+    path = obs.write_trace(tmp_path / "trace.json")
+    payload = json.loads(path.read_text())
+    assert set(payload) == {"traceEvents", "displayTimeUnit", "otherData"}
+    assert payload["otherData"]["counters"] == {"edges_processed": 1000}
+    assert payload["otherData"]["dropped_spans"] == 0
+
+    recovered = _records_from_trace(str(path))
+    assert len(recovered) == len(original)
+    for rec, orig in zip(recovered, original):
+        kind, name, t0, dur, pid, tid, attrs = rec
+        assert (kind, name, pid, tid) == (orig[0], orig[1], orig[4], orig[5])
+        assert abs(t0 - orig[2]) < 1e-6 and abs(dur - orig[3]) < 1e-6
+        assert (attrs or None) == (orig[6] or None)
+
+
+def test_start_stop_trace_writes_file_and_toggles_flag(tmp_path):
+    target = tmp_path / "run.json"
+    obs.start_trace(target)
+    assert obs.enabled()
+    with obs.trace("traced.region"):
+        pass
+    written = obs.stop_trace()
+    assert not obs.enabled()
+    assert written == target and target.exists()
+    names = [e["name"] for e in json.loads(target.read_text())["traceEvents"]]
+    assert names == ["traced.region"]
+
+
+def test_stop_trace_without_path_writes_nothing():
+    obs.start_trace()  # enable only
+    assert obs.stop_trace() is None
+
+
+def test_aggregate_orders_by_inclusive_total():
+    obs.enable()
+    for _ in range(3):
+        with obs.trace("frequent"):
+            pass
+    obs.record_event("instant")
+    obs.disable()
+    rows = obs.aggregate()
+    by_name = {r["name"]: r for r in rows}
+    assert by_name["frequent"]["count"] == 3
+    assert by_name["instant"]["total_s"] == 0.0
+    totals = [r["total_s"] for r in rows]
+    assert totals == sorted(totals, reverse=True)
+
+
+def test_format_summary_and_empty_case():
+    assert export.format_summary() == "no spans recorded"
+    _record_some_spans()
+    text = export.format_summary()
+    assert "plan.compile" in text and "backend.embed" in text
+    top1 = export.format_summary(top=1)
+    assert len(top1.splitlines()) == 2  # header + one row
+
+
+def test_telemetry_shape():
+    _record_some_spans()
+    summary = obs.telemetry(top=2)
+    assert len(summary["top_spans"]) == 2
+    assert summary["counters"] == {"edges_processed": 1000}
+    for row in summary["top_spans"]:
+        assert set(row) == {"name", "count", "total_s", "mean_s"}
+
+
+def test_env_trace_path_reads_environment(monkeypatch):
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    assert export._env_trace_path() is None
+    monkeypatch.setenv("REPRO_TRACE", "")
+    assert export._env_trace_path() is None
+    monkeypatch.setenv("REPRO_TRACE", "/tmp/x.json")
+    assert export._env_trace_path() == "/tmp/x.json"

@@ -1,0 +1,68 @@
+"""The metrics registry: gating, accumulation, cross-process merge."""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.obs import metrics
+
+
+def test_everything_is_gated_while_disabled():
+    metrics.count("edges", 10)
+    metrics.gauge_set("level", 3)
+    metrics.gauge_add("level", 1)
+    metrics.observe("tasks", 7)
+    assert metrics.counters() == {}
+    assert metrics.gauges() == {}
+    assert metrics.histograms() == {}
+
+
+def test_counter_accumulates():
+    obs.enable()
+    metrics.count("edges")
+    metrics.count("edges", 4)
+    assert metrics.counters() == {"edges": 5}
+
+
+def test_gauge_set_and_add():
+    obs.enable()
+    metrics.gauge_set("segments", 2)
+    metrics.gauge_add("segments", 3)
+    metrics.gauge_add("segments", -1)
+    assert metrics.gauges() == {"segments": 4}
+
+
+def test_histogram_tracks_count_total_min_max_mean():
+    obs.enable()
+    for v in (2.0, 8.0, 5.0):
+        metrics.observe("task_cost", v)
+    hist = metrics.histograms()["task_cost"]
+    assert hist["count"] == 3
+    assert hist["total"] == 15.0
+    assert hist["min"] == 2.0
+    assert hist["max"] == 8.0
+    assert hist["mean"] == 5.0
+
+
+def test_drain_and_merge_counters():
+    obs.enable()
+    metrics.count("edges", 3)
+    shipped = metrics.drain_counters()
+    assert shipped == {"edges": 3}
+    assert metrics.counters() == {}
+    metrics.count("edges", 2)
+    metrics.merge_counters(shipped)
+    assert metrics.counters() == {"edges": 5}
+    metrics.merge_counters(None)  # tolerated
+    metrics.merge_counters({})
+    assert metrics.counters() == {"edges": 5}
+
+
+def test_reset_clears_all_tables():
+    obs.enable()
+    metrics.count("a")
+    metrics.gauge_set("b", 1)
+    metrics.observe("c", 1)
+    metrics.reset()
+    assert metrics.counters() == {}
+    assert metrics.gauges() == {}
+    assert metrics.histograms() == {}

@@ -125,7 +125,10 @@ class TestCalibration:
         monkeypatch.setattr(
             calibration, "DESIGN_POINTS", ((64, 256), (64, 2048), (512, 2048))
         )
-        data = tune.calibrate(repeats=1, include_parallel=False)
+        # Best-of-3: with repeats=1 a single load-inflated measurement on
+        # these tiny design points skews the per-edge fit enough to flake
+        # the python-vs-vectorized ratio assertion under full-suite load.
+        data = tune.calibrate(repeats=3, include_parallel=False)
         assert data["schema"] == SCHEMA_VERSION
         for config in ("vectorized:none", "vectorized:sorted", "vectorized:blocked",
                        "sparse:none", "sharded:sorted", "python:none"):
