@@ -203,6 +203,47 @@ def _validate_entries(entries: List[Dict]) -> None:
             )
 
 
+def bench_environment() -> Dict:
+    """The library/toolchain fingerprint embedded in every ``BENCH_*.json``.
+
+    Per-edge numbers are only comparable between runs that executed the
+    same code paths: a numpy upgrade changes the scatter kernels, numba
+    appearing (or vanishing) swaps the native tier between JIT and shadow
+    execution, and a different CPU count changes what ``backend="auto"``
+    even considers.  ``check_regression.py`` prints a warning — never a
+    failure — when baseline and current disagree on any of these.
+    """
+    import shutil
+
+    import numpy
+
+    try:
+        import scipy
+
+        scipy_version = scipy.__version__
+    except ImportError:  # pragma: no cover - scipy is a baked-in dep
+        scipy_version = None
+    from repro.native.availability import (
+        native_available,
+        native_status,
+        numba_version,
+    )
+
+    compiler = next(
+        (name for name in ("cc", "gcc", "clang") if shutil.which(name)), None
+    )
+    return {
+        "numpy": numpy.__version__,
+        "scipy": scipy_version,
+        "numba": numba_version(),
+        "native_tier": native_available(),
+        "native_status": native_status(),
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "compiler": compiler,
+    }
+
+
 def run_telemetry() -> Optional[Dict]:
     """This process's obs telemetry summary, or ``None`` when not tracing.
 
@@ -268,6 +309,7 @@ def write_bench_json(
         "labelled_fraction": LABELLED_FRACTION,
         "python": platform.python_version(),
         "cpu_count": os.cpu_count(),
+        "environment": bench_environment(),
         "entries": entries,
     }
     if telemetry is not None:

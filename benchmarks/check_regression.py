@@ -106,6 +106,40 @@ def _check_speedup(current: dict, spec: str, min_speedup: float) -> int:
     return 0
 
 
+#: Environment keys whose baseline/current disagreement gets a warning.
+#: Deliberately excludes ``platform`` (kernel build strings differ between
+#: otherwise-identical CI runners) and ``native_status`` (free text).
+_ENV_COMPARED_KEYS = ("numpy", "scipy", "numba", "native_tier", "cpu_count")
+
+
+def _warn_environment_mismatch(baseline: dict, current: dict) -> None:
+    """Print warnings when the two runs' environments differ.
+
+    Warnings only — the per-edge gate is a deliberately loose trip-wire and
+    must keep working across container upgrades; the point is that a
+    regression report names the library delta that may explain it instead
+    of letting a numpy/numba change masquerade as a code regression.
+    Files predating the ``environment`` block compare as empty (one note,
+    no per-key spam).
+    """
+    base_env = baseline.get("environment") or {}
+    cur_env = current.get("environment") or {}
+    if not base_env or not cur_env:
+        which = "baseline" if not base_env else "current"
+        print(
+            f"note: {which} file records no environment block; "
+            "library-version drift cannot be checked"
+        )
+        return
+    for key in _ENV_COMPARED_KEYS:
+        if base_env.get(key) != cur_env.get(key):
+            print(
+                f"WARNING: environment mismatch on {key!r}: baseline "
+                f"{base_env.get(key)!r} vs current {cur_env.get(key)!r} — "
+                "per-edge ratios may reflect the environment, not the code"
+            )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", type=Path,
@@ -142,6 +176,7 @@ def main(argv=None) -> int:
             return status
 
     baseline = json.loads(args.baseline.read_text())
+    _warn_environment_mismatch(baseline, current)
 
     base_entry = _best_entry(baseline, args.backend, args.layout, args.shards)
     # Like-for-like layouts: whatever layout the baseline's best entry ran

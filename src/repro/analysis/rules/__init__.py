@@ -5,7 +5,17 @@ Importing this package registers every built-in rule with
 ``repro.backends`` registers the execution backends).
 """
 
-from . import addat, bench, contracts, dtype, forksafety, hotpath, obs, shm_lifecycle  # noqa: F401
+from . import (  # noqa: F401
+    addat,
+    bench,
+    contracts,
+    dtype,
+    forksafety,
+    hotpath,
+    native_parity,
+    obs,
+    shm_lifecycle,
+)
 
 from .addat import NoAddAtRule
 from .bench import BenchSchemaRule
@@ -13,6 +23,7 @@ from .contracts import CapabilityContractRule, check_capability_contract
 from .dtype import IndexDtypeRule
 from .forksafety import ForkSafetyRule
 from .hotpath import HotPathAllocationRule
+from .native_parity import NativeParityRule
 from .obs import ObsSpanHygieneRule
 from .shm_lifecycle import ShmLifecycleRule
 
@@ -24,6 +35,7 @@ __all__ = [
     "IndexDtypeRule",
     "ForkSafetyRule",
     "HotPathAllocationRule",
+    "NativeParityRule",
     "ObsSpanHygieneRule",
     "ShmLifecycleRule",
 ]

@@ -1,0 +1,194 @@
+"""``native-parity`` — every JIT kernel must have a registered shadow.
+
+The native tier's portability story rests on one invariant: for every
+``@njit`` kernel in :mod:`repro.native.kernels` there is a pure-NumPy
+function of the **same name** in :mod:`repro.native.shadow`, both listed in
+:data:`repro.native.dispatch.NATIVE_KERNEL_NAMES` — that is what lets the
+full conformance suite run without numba and lets
+:func:`~repro.native.dispatch.get_kernel` degrade silently.  A kernel added
+to one side only would either be untestable without numba (no shadow) or
+silently never JIT-compiled (no native body), so this project-scoped rule
+enforces the pairing two ways:
+
+* **statically** — the ``@njit``-decorated definitions in ``kernels.py``,
+  the public functions in ``shadow.py`` and the ``NATIVE_KERNEL_NAMES``
+  inventory must be exactly the same set (works in environments that
+  cannot import the kernels module at all).  Every JIT kernel must also
+  carry ``@hot_path`` so the performance-discipline rules see it.
+* **live** — :func:`~repro.native.dispatch.kernel_pair` must resolve a
+  callable shadow for every inventoried name (and a callable JIT kernel
+  too when the tier is importable).
+
+Anchors point at the offending definition (or the inventory assignment)
+so the report lands on the line to fix.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set
+
+from ..findings import Finding
+from ..registry import Rule, register_rule
+from ._util import decorator_matches, iter_functions
+
+__all__ = ["NativeParityRule"]
+
+_KERNELS_PATH = "native/kernels.py"
+_SHADOW_PATH = "native/shadow.py"
+_DISPATCH_PATH = "native/dispatch.py"
+
+
+def _module_ending_with(project, suffix: str):
+    for module in project.modules:
+        if module.rel_path.replace("\\", "/").endswith(suffix):
+            return module
+    return None
+
+
+def _public_functions(tree: ast.AST) -> Dict[str, ast.FunctionDef]:
+    return {
+        fn.name: fn
+        for fn in iter_functions(tree)
+        if not fn.name.startswith("_")
+    }
+
+
+def _inventory_names(dispatch_module) -> Optional[Set[str]]:
+    """The NATIVE_KERNEL_NAMES literal from the dispatch module's AST."""
+    for node in ast.walk(dispatch_module.tree):
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        if not any(
+            isinstance(t, ast.Name) and t.id == "NATIVE_KERNEL_NAMES"
+            for t in targets
+        ):
+            continue
+        try:
+            value = ast.literal_eval(node.value)
+        except ValueError:  # pragma: no cover - non-literal inventory
+            return None
+        return {str(name) for name in value}
+    return None
+
+
+@register_rule
+class NativeParityRule(Rule):
+    name = "native-parity"
+    scope = "project"
+    description = (
+        "every @njit kernel in repro.native.kernels must have a same-named "
+        "pure-NumPy shadow and an entry in NATIVE_KERNEL_NAMES (and vice "
+        "versa), so the native tier stays fully testable without numba"
+    )
+
+    def check_project(self, project) -> Iterator[Finding]:
+        kernels = _module_ending_with(project, _KERNELS_PATH)
+        shadow = _module_ending_with(project, _SHADOW_PATH)
+        dispatch = _module_ending_with(project, _DISPATCH_PATH)
+        if kernels is None or shadow is None or dispatch is None:
+            # The native package is not part of the analyzed file set
+            # (targeted single-file runs); nothing to cross-check.
+            return
+        yield from self._check_static(kernels, shadow, dispatch)
+        yield from self._check_live(dispatch)
+
+    # ------------------------------------------------------------------ #
+    def _check_static(self, kernels, shadow, dispatch) -> Iterator[Finding]:
+        jit_fns = {
+            name: fn
+            for name, fn in _public_functions(kernels.tree).items()
+            if decorator_matches(fn, "njit") or decorator_matches(fn, "jit")
+        }
+        shadow_fns = _public_functions(shadow.tree)
+        inventory = _inventory_names(dispatch)
+        if inventory is None:
+            yield self.finding(
+                dispatch.rel_path,
+                1,
+                "NATIVE_KERNEL_NAMES is not a literal tuple of names; the "
+                "parity check (and the dispatcher's inventory) cannot be "
+                "verified statically",
+            )
+            return
+        for name, fn in sorted(jit_fns.items()):
+            if name not in shadow_fns:
+                yield self.finding(
+                    kernels.rel_path,
+                    fn.lineno,
+                    f"JIT kernel {name!r} has no same-named shadow in "
+                    "repro.native.shadow; the kernel is untestable without "
+                    "numba and get_kernel() cannot degrade",
+                    symbol=name,
+                )
+            if name not in inventory:
+                yield self.finding(
+                    kernels.rel_path,
+                    fn.lineno,
+                    f"JIT kernel {name!r} is missing from "
+                    "NATIVE_KERNEL_NAMES; get_kernel() will never dispatch it",
+                    symbol=name,
+                )
+            if not decorator_matches(fn, "hot_path"):
+                yield self.finding(
+                    kernels.rel_path,
+                    fn.lineno,
+                    f"JIT kernel {name!r} lacks @hot_path; native kernels "
+                    "are hot paths by definition and must carry the "
+                    "annotation the performance rules key on",
+                    symbol=name,
+                )
+        for name, fn in sorted(shadow_fns.items()):
+            if name not in jit_fns:
+                yield self.finding(
+                    shadow.rel_path,
+                    fn.lineno,
+                    f"shadow {name!r} has no same-named @njit kernel in "
+                    "repro.native.kernels; the shadow documents semantics "
+                    "nothing compiles",
+                    symbol=name,
+                )
+            if name not in inventory:
+                yield self.finding(
+                    shadow.rel_path,
+                    fn.lineno,
+                    f"shadow {name!r} is missing from NATIVE_KERNEL_NAMES",
+                    symbol=name,
+                )
+        for name in sorted(inventory - set(jit_fns) - set(shadow_fns)):
+            yield self.finding(
+                dispatch.rel_path,
+                1,
+                f"NATIVE_KERNEL_NAMES lists {name!r} but neither "
+                "repro.native.kernels nor repro.native.shadow defines it",
+                symbol=name,
+            )
+
+    def _check_live(self, dispatch) -> Iterator[Finding]:
+        from repro.native.dispatch import (
+            NATIVE_KERNEL_NAMES,
+            kernel_pair,
+            using_native,
+        )
+
+        for name in NATIVE_KERNEL_NAMES:
+            pair = kernel_pair(name)
+            if not callable(pair["shadow"]):
+                yield self.finding(
+                    dispatch.rel_path,
+                    1,
+                    f"kernel_pair({name!r}) resolves no callable shadow; "
+                    "the dispatcher cannot degrade without numba",
+                    symbol=name,
+                )
+            if using_native() and not callable(pair["native"]):
+                yield self.finding(
+                    dispatch.rel_path,
+                    1,
+                    f"the JIT tier reports available but kernel_pair"
+                    f"({name!r}) resolves no native callable",
+                    symbol=name,
+                )

@@ -454,6 +454,16 @@ def resolve_backend_name(name: str) -> str:
         return name
     if name in _ALIASES:
         return _ALIASES[name]
+    if name == "native":
+        # The native backend registers conditionally: absent numba (or
+        # REPRO_DISABLE_NATIVE) means absent from the registry, and the
+        # error should say why instead of listing it as merely unknown.
+        from ..native.availability import native_status
+
+        raise ValueError(
+            f"backend 'native' is not available: {native_status()}; "
+            f"registered backends: {list_backends()}"
+        )
     raise ValueError(
         f"unknown backend {name!r}; registered backends: {list_backends()} "
         f"(aliases: {sorted(_ALIASES)})"

@@ -1,0 +1,64 @@
+"""repro.native — the optional numba-JIT kernel tier.
+
+A set of loop-nest kernels compiled below the NumPy floor: the fused
+segment-sum edge pass as a ``prange`` over disjoint row blocks, the
+streaming/per-shard one-sided accumulate, the O(Δ) incremental patch and
+the flat scatter primitive — all GIL-free, deterministic, and free of the
+O(E) temporaries the vectorized tier allocates per call.
+
+Strictly optional: numba is never a hard dependency.  Importing this
+package never raises; :func:`native_available` reports whether the JIT
+tier can run (``REPRO_DISABLE_NATIVE=1`` force-disables it), and every
+kernel has a pure-NumPy *shadow* of identical name, signature and
+semantics (:mod:`repro.native.shadow`) that :func:`get_kernel` falls back
+to — so code written against this package runs anywhere, and the full
+conformance suite exercises the tier without numba installed.
+
+Quick use::
+
+    from repro.native import native_available
+    from repro.backends import get_backend, list_backends
+
+    if "native" in list_backends():        # registered only when available
+        result = get_backend("native").embed(graph, labels, n_classes)
+
+See ``docs/native.md`` for the shadow-kernel equivalence contract and the
+bandwidth methodology of ``benchmarks/bench_native.py``.
+"""
+
+from .api import (
+    gee_native_chunked,
+    gee_native_with_plan,
+    patch_sums_native,
+    set_native_threads,
+)
+from .availability import (
+    DISABLE_ENV_VAR,
+    native_available,
+    native_status,
+    numba_version,
+)
+from .backend import (
+    NATIVE_CAPABILITIES,
+    NativeGEEBackend,
+    register_native_backend,
+)
+from .dispatch import NATIVE_KERNEL_NAMES, get_kernel, kernel_pair, using_native
+
+__all__ = [
+    "DISABLE_ENV_VAR",
+    "NATIVE_CAPABILITIES",
+    "NATIVE_KERNEL_NAMES",
+    "NativeGEEBackend",
+    "gee_native_chunked",
+    "gee_native_with_plan",
+    "get_kernel",
+    "kernel_pair",
+    "native_available",
+    "native_status",
+    "numba_version",
+    "patch_sums_native",
+    "register_native_backend",
+    "set_native_threads",
+    "using_native",
+]

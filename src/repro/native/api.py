@@ -1,0 +1,187 @@
+"""Plan-path entry points of the native kernel tier.
+
+The functional layer between the dispatcher (:mod:`repro.native.dispatch`)
+and the registered ``native`` backend: each function consumes a compiled
+:class:`~repro.core.plan.EmbedPlan` / :class:`~repro.core.plan.ChunkedPlan`
+exactly like the vectorized plan kernels do — compile-once layout reuse,
+reused output buffers, lazy projections — and runs the edge pass through
+:func:`~repro.native.dispatch.get_kernel`, so every function here works
+(via the shadows) even where numba is absent.  ``force_shadow=True`` pins
+the NumPy implementations; the equivalence tests sweep both.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from ..core.gee_vectorized import class_rescale
+from ..core.projection import projection_from_scales, projection_scales
+from ..core.result import EmbeddingResult
+from .dispatch import get_kernel, using_native
+
+__all__ = [
+    "gee_native_with_plan",
+    "gee_native_chunked",
+    "patch_sums_native",
+    "set_native_threads",
+]
+
+#: Dummy weight array for unit-weight graphs: the JIT kernels take no
+#: ``None`` (numba cannot type it), so weightless calls pass this with
+#: ``has_weights=False`` and the branch never reads it.
+_EMPTY_WEIGHTS = np.empty(0, dtype=np.float64)
+
+
+def set_native_threads(n_workers: Optional[int]) -> Optional[int]:
+    """Pin numba's thread count for the ``prange`` kernels; returns it.
+
+    ``None`` leaves numba's default (all cores) untouched and returns
+    ``None``.  Clamped to the layout-time maximum
+    (``numba.config.NUMBA_NUM_THREADS`` — raising above it is an error in
+    numba).  A no-op returning ``None`` when the JIT tier is absent: the
+    shadows are single-threaded NumPy.
+    """
+    if n_workers is None or not using_native():
+        return None
+    from numba import config, set_num_threads
+
+    workers = max(1, min(int(n_workers), int(config.NUMBA_NUM_THREADS)))
+    set_num_threads(workers)
+    return workers
+
+
+def gee_native_with_plan(
+    plan,
+    labels: np.ndarray,
+    *,
+    n_workers: Optional[int] = None,
+    force_shadow: bool = False,
+) -> EmbeddingResult:
+    """GEE through a plan's fused layout with the native segment-sum kernel.
+
+    The native counterpart of
+    :func:`~repro.core.gee_vectorized.gee_fused_with_plan`: one
+    block-parallel pass over the compiled ``2E`` incidences with zeroing
+    folded in (``zero_first``), then the column rescale.  Layout-preserving
+    plans (``layout="none"``) re-plan as ``"sorted"`` through the facade's
+    per-layout plan cache — the native kernel is block-structured by
+    design, and the facade makes the switch a one-time compile.
+
+    Returns a view of the plan's reused output buffer (the standard plan
+    contract; ``result.detached()`` copies one out).
+    """
+    if plan.layout == "none":
+        plan = plan.graph.plan(plan.n_classes, layout="sorted")
+    y = plan.validate_labels(labels)
+    k = plan.n_classes
+    fused = plan.fused
+
+    t0 = time.perf_counter()
+    workers = set_native_threads(n_workers)
+    kernel = get_kernel("segment_sum_blocks", force_shadow=force_shadow)
+    t1 = time.perf_counter()
+
+    Z = plan.output_matrix()
+    weights = fused.weights
+    kernel(
+        Z.reshape(-1),
+        fused.owner_flat,
+        fused.partner,
+        _EMPTY_WEIGHTS if weights is None else weights,
+        weights is not None,
+        y,
+        fused.flat_cuts,
+        fused.edge_cuts,
+        True,
+    )
+    class_rescale(Z, y, k)
+    t2 = time.perf_counter()
+
+    return EmbeddingResult(
+        embedding=Z,
+        projection_builder=lambda: projection_from_scales(
+            y, projection_scales(y, k), k
+        ),
+        timings={"projection": t1 - t0, "edge_pass": t2 - t1, "total": t2 - t0},
+        method="gee-native",
+        n_workers=workers or 1,
+        buffer_view=True,
+        layout=fused.layout,
+    )
+
+
+def gee_native_chunked(
+    plan, labels: np.ndarray, *, force_shadow: bool = False
+) -> EmbeddingResult:
+    """Out-of-core GEE on a :class:`~repro.core.plan.ChunkedPlan`, natively.
+
+    Streams the plan's source chunk by chunk through the serial JIT
+    kernels: sorted-incidence plans run the one-sided raw-sum accumulate
+    (rescaled once at the end), layout-preserving plans the two-sided
+    scaled edge kernel.  Temporaries stay O(chunk) — the per-chunk
+    ``owner*K`` flat components are the same compile the vectorized
+    streaming path pays.
+    """
+    y = plan.validate_labels(labels)
+    k = plan.n_classes
+    sorted_layout = getattr(plan, "layout", "none") == "sorted"
+
+    t0 = time.perf_counter()
+    scales = None if sorted_layout else projection_scales(y, k)
+    t1 = time.perf_counter()
+
+    Z_flat = plan.zeroed_output()
+    if sorted_layout:
+        kernel = get_kernel("segment_accumulate", force_shadow=force_shadow)
+        for owner, partner, w in plan.source.iter_chunks():
+            kernel(Z_flat, owner * k, partner, w, True, y)
+    else:
+        kernel = get_kernel("accumulate_edges_scaled", force_shadow=force_shadow)
+        for src, dst, w in plan.source.iter_chunks():
+            kernel(Z_flat, src, dst, w, y, scales, k)
+    Z = Z_flat.reshape(plan.n_vertices, k)
+    if sorted_layout:
+        class_rescale(Z, y, k)
+    t2 = time.perf_counter()
+
+    return EmbeddingResult(
+        embedding=Z,
+        projection_builder=lambda: projection_from_scales(
+            y, projection_scales(y, k) if scales is None else scales, k
+        ),
+        timings={"projection": t1 - t0, "edge_pass": t2 - t1, "total": t2 - t0},
+        method="gee-native",
+        n_workers=1,
+        buffer_view=True,
+        layout=getattr(plan, "layout", "none"),
+    )
+
+
+def patch_sums_native(
+    S_flat: np.ndarray,
+    src: np.ndarray,
+    dst: np.ndarray,
+    delta_w: np.ndarray,
+    labels: np.ndarray,
+    n_classes: int,
+    *,
+    force_shadow: bool = False,
+) -> None:
+    """O(Δ) incremental patch through the native delta kernel, in place.
+
+    The incremental protocol of the ``native`` backend: a single serial
+    loop over the signed delta edges (a JIT delta loop beats any parallel
+    dispatch at realistic Δ sizes, and stays deterministic).
+    """
+    kernel = get_kernel("patch_sums", force_shadow=force_shadow)
+    kernel(
+        S_flat,
+        np.ascontiguousarray(src),
+        np.ascontiguousarray(dst),
+        np.ascontiguousarray(delta_w, dtype=np.float64),
+        labels,
+        int(n_classes),
+    )

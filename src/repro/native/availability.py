@@ -1,0 +1,104 @@
+"""Availability probe for the numba-JIT native kernel tier.
+
+The native tier is strictly optional: numba is an *extra*, never a hard
+dependency.  Everything that consumes the tier asks this module first —
+:func:`native_available` — and degrades to the pure-NumPy shadow kernels
+(or hides the ``native`` backend from the registry entirely) when the
+answer is no.  Importing :mod:`repro.native` must therefore never raise,
+no matter what state numba (or its LLVM toolchain) is in.
+
+Three ways the tier is absent, all reported by :func:`native_status`:
+
+* numba is not installed (``ModuleNotFoundError``);
+* numba imports but is broken (any other exception during import — a
+  mismatched llvmlite is the classic case);
+* the user disabled it with ``REPRO_DISABLE_NATIVE=1`` (any non-empty
+  value other than ``0``/``false``/``no``/``off``/``""`` disables).
+
+The probe runs once per process and is cached; the environment variable
+is read at first probe time, so flipping it mid-process has no effect
+(tests that need both states run subprocesses — see
+``tests/native/test_absence.py``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
+
+__all__ = [
+    "DISABLE_ENV_VAR",
+    "native_available",
+    "native_status",
+    "numba_version",
+    "reset_probe_cache",
+]
+
+#: Environment variable that force-disables the native tier.
+DISABLE_ENV_VAR = "REPRO_DISABLE_NATIVE"
+
+#: Values of :data:`DISABLE_ENV_VAR` that do NOT disable (everything else
+#: non-empty does).
+_FALSY = frozenset({"", "0", "false", "no", "off"})
+
+#: Cached probe result: ``(available, status, numba_version)``.
+_PROBE: Optional[Tuple[bool, str, Optional[str]]] = None
+
+
+def _probe() -> Tuple[bool, str, Optional[str]]:
+    flag = os.environ.get(DISABLE_ENV_VAR, "")
+    if flag.strip().lower() not in _FALSY:
+        return (
+            False,
+            f"disabled via {DISABLE_ENV_VAR}={flag!r}",
+            None,
+        )
+    try:
+        import numba
+    except ModuleNotFoundError:
+        return (
+            False,
+            "numba is not installed (pip install numba to enable the "
+            "native kernel tier)",
+            None,
+        )
+    except Exception as exc:  # pragma: no cover - broken toolchain
+        # A numba that imports but explodes (llvmlite mismatch, broken
+        # LLVM) must degrade exactly like an absent one.
+        return (False, f"numba import failed: {type(exc).__name__}: {exc}", None)
+    version = getattr(numba, "__version__", "unknown")
+    return (True, f"available (numba {version})", version)
+
+
+def native_available() -> bool:
+    """Whether the numba-JIT kernel tier can run in this process."""
+    global _PROBE
+    if _PROBE is None:
+        _PROBE = _probe()
+    return _PROBE[0]
+
+
+def native_status() -> str:
+    """One-line human-readable availability status (always defined)."""
+    global _PROBE
+    if _PROBE is None:
+        _PROBE = _probe()
+    return _PROBE[1]
+
+
+def numba_version() -> Optional[str]:
+    """The probed numba version string, or ``None`` when unavailable."""
+    global _PROBE
+    if _PROBE is None:
+        _PROBE = _probe()
+    return _PROBE[2]
+
+
+def reset_probe_cache() -> None:
+    """Drop the cached probe so the next query re-reads the environment.
+
+    Test plumbing only: backend *registration* happens once at import of
+    :mod:`repro.backends` and is not re-run by resetting this cache.
+    """
+    global _PROBE
+    _PROBE = None

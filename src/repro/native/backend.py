@@ -1,0 +1,154 @@
+"""The ``native`` backend: the JIT kernel tier behind the standard protocol.
+
+Registered **conditionally**: when :func:`~repro.native.availability.native_available`
+is false (numba absent/broken, or ``REPRO_DISABLE_NATIVE`` set) the backend
+simply never enters the registry — ``list_backends()`` omits it,
+``backend="auto"`` never considers it, and resolving ``"native"`` raises a
+ValueError carrying :func:`~repro.native.availability.native_status` instead
+of an ImportError.  This keeps every registry-wide behavioural probe (the
+capability-contract analysis rule instantiates each registered backend)
+honest: nothing registered is ever unconstructible.
+
+The backend covers the full protocol surface: plan-based embeds through the
+block-parallel fused kernel, chunked plans through the serial streaming
+kernels, O(Δ) incremental patches, and owner-range sharded execution
+(``n_shards`` option) with the one-sided segment kernel per shard.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..backends.registry import BackendCapabilities, GEEBackend, register_backend
+from ..parallel import effective_worker_count
+from .api import gee_native_chunked, gee_native_with_plan, patch_sums_native
+from .availability import native_available, native_status
+
+__all__ = ["NativeGEEBackend", "NATIVE_CAPABILITIES"]
+
+#: Declared capabilities of the native tier (module-level so discovery
+#: helpers and docs can describe the backend even where it is unregistered).
+NATIVE_CAPABILITIES = BackendCapabilities(
+    supports_n_workers=True,
+    parallel=True,
+    deterministic=True,
+    supports_chunked=True,
+    supports_incremental=True,
+    supports_layout=True,
+    supports_sharding=True,
+    description=(
+        "numba-JIT parallel segment-sum kernels: prange over disjoint row "
+        "blocks, GIL-free, no O(E) temporaries (n_shards option)"
+    ),
+)
+
+
+class NativeGEEBackend(GEEBackend):
+    """JIT-compiled block-parallel segment-sum execution.
+
+    Options
+    -------
+    n_shards:
+        When set, run the owner-range sharded path (``graph.shard(n)``)
+        with the native one-sided segment kernel per shard instead of the
+        single-pool fused pass.
+    force_shadow:
+        Pin the pure-NumPy shadow kernels even where numba is available —
+        the equivalence-test hook (shadow results must match JIT results
+        exactly; see ``docs/native.md``).
+    """
+
+    _OPTIONS = {"n_shards": None, "force_shadow": False}
+
+    # Explicit (not via register_backend) so the class carries its name and
+    # capabilities even in processes where registration is skipped.
+    name = "native"
+    capabilities = NATIVE_CAPABILITIES
+
+    def __init__(self, *, n_workers=None, **options):
+        super().__init__(n_workers=n_workers, **options)
+        if not native_available() and not self.force_shadow:
+            raise RuntimeError(
+                f"the native backend is unavailable: {native_status()} "
+                "(pass force_shadow=True to run the pure-NumPy shadow "
+                "kernels through the same code paths)"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Embedding protocol
+    # ------------------------------------------------------------------ #
+    def _resolved_shards(self, n_vertices: int) -> int:
+        requested = self.n_shards
+        if requested is None:
+            requested = effective_worker_count(None)
+        return max(1, min(int(requested), max(1, int(n_vertices))))
+
+    def _embed(self, graph, labels, n_classes):
+        if self.n_shards is not None:
+            sharded = graph.shard(self._resolved_shards(graph.n_vertices))
+            return sharded.embed(
+                labels,
+                n_classes,
+                n_workers=self.n_workers,
+                kernel="shadow" if self.force_shadow else "native",
+            )
+        from ..core.validation import infer_n_classes
+
+        k = infer_n_classes(labels) if n_classes is None else int(n_classes)
+        plan = graph.plan(k, layout="sorted")
+        return gee_native_with_plan(
+            plan, labels, n_workers=self.n_workers, force_shadow=self.force_shadow
+        )
+
+    def _embed_with_plan(self, plan, labels):
+        if self.n_shards is not None:
+            graph = plan.graph
+            sharded = graph.shard(self._resolved_shards(graph.n_vertices))
+            return sharded.embed(
+                labels,
+                plan.n_classes,
+                n_workers=self.n_workers,
+                kernel="shadow" if self.force_shadow else "native",
+            )
+        return gee_native_with_plan(
+            plan, labels, n_workers=self.n_workers, force_shadow=self.force_shadow
+        )
+
+    def _embed_with_chunked_plan(self, plan, labels):
+        return gee_native_chunked(plan, labels, force_shadow=self.force_shadow)
+
+    def _patch_sums(
+        self,
+        S_flat: np.ndarray,
+        src: np.ndarray,
+        dst: np.ndarray,
+        delta_w: np.ndarray,
+        labels: np.ndarray,
+        n_classes: int,
+    ) -> None:
+        patch_sums_native(
+            S_flat,
+            src,
+            dst,
+            delta_w,
+            labels,
+            n_classes,
+            force_shadow=self.force_shadow,
+        )
+
+
+def register_native_backend() -> bool:
+    """Install :class:`NativeGEEBackend` in the registry when available.
+
+    Returns whether registration happened.  Called once from
+    :mod:`repro.backends` at import; safe to call again (re-registration is
+    skipped, not raised, so forced-availability tests can exercise it).
+    """
+    if not native_available():
+        return False
+    from ..backends.registry import _REGISTRY
+
+    if "native" in _REGISTRY:  # pragma: no cover - double-import guard
+        return True
+    register_backend("native", capabilities=NATIVE_CAPABILITIES)(NativeGEEBackend)
+    return True

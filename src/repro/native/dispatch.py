@@ -1,0 +1,105 @@
+"""Kernel dispatch: JIT implementation when available, shadow otherwise.
+
+The single resolution point between the two tiers.  :func:`get_kernel`
+returns the numba implementation of a named kernel when the tier is
+available (importing/compiling lazily, once per process) and the
+same-signature pure-NumPy shadow otherwise, so call sites never branch on
+availability themselves.
+
+:data:`NATIVE_KERNEL_NAMES` is the authoritative kernel inventory — the
+``native-parity`` analysis rule walks it and asserts every name resolves
+to a shadow (always) and to a JIT implementation (when numba is present),
+and cross-checks the inventory against the ``@njit`` definitions in
+:mod:`repro.native.kernels` at the AST level.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from . import shadow
+from .availability import native_available
+
+__all__ = [
+    "NATIVE_KERNEL_NAMES",
+    "get_kernel",
+    "kernel_pair",
+    "using_native",
+]
+
+#: Every kernel of the native tier, by name.  Each name is both a function
+#: in :mod:`repro.native.kernels` (``@njit``) and one in
+#: :mod:`repro.native.shadow` (pure NumPy), with identical signatures.
+NATIVE_KERNEL_NAMES: Tuple[str, ...] = (
+    "segment_sum_blocks",
+    "segment_accumulate",
+    "accumulate_edges_scaled",
+    "patch_sums",
+    "flat_scatter_add",
+)
+
+#: Lazily-imported kernels module (``None`` = not yet tried, ``False`` =
+#: tried and unavailable).
+_KERNELS_MODULE = None
+
+
+def _jit_module():
+    """The :mod:`repro.native.kernels` module, or ``None`` when absent.
+
+    Import failure is cached: a broken numba degrades to the shadows for
+    the life of the process rather than re-raising per call.
+    """
+    global _KERNELS_MODULE
+    if _KERNELS_MODULE is None:
+        if not native_available():
+            _KERNELS_MODULE = False
+        else:
+            try:
+                from . import kernels
+
+                _KERNELS_MODULE = kernels
+            except ImportError:  # pragma: no cover - forced-available probes
+                _KERNELS_MODULE = False
+    return _KERNELS_MODULE or None
+
+
+def get_kernel(name: str, *, force_shadow: bool = False) -> Callable:
+    """The callable implementing kernel ``name`` in this process.
+
+    JIT when the tier is available (and ``force_shadow`` is off), shadow
+    otherwise.  ``force_shadow=True`` is the equivalence-test hook: it
+    pins the NumPy implementation even where numba is installed.
+    """
+    if name not in NATIVE_KERNEL_NAMES:
+        raise KeyError(
+            f"unknown native kernel {name!r}; known kernels: "
+            f"{list(NATIVE_KERNEL_NAMES)}"
+        )
+    if not force_shadow:
+        module = _jit_module()
+        if module is not None:
+            return getattr(module, name)
+    return getattr(shadow, name)
+
+
+def kernel_pair(name: str) -> Dict[str, Optional[Callable]]:
+    """Both implementations of ``name``: ``{"native": ..., "shadow": ...}``.
+
+    ``native`` is ``None`` when the JIT tier is absent.  Consumed by the
+    ``native-parity`` rule's live registry check.
+    """
+    if name not in NATIVE_KERNEL_NAMES:
+        raise KeyError(
+            f"unknown native kernel {name!r}; known kernels: "
+            f"{list(NATIVE_KERNEL_NAMES)}"
+        )
+    module = _jit_module()
+    return {
+        "native": None if module is None else getattr(module, name, None),
+        "shadow": getattr(shadow, name),
+    }
+
+
+def using_native() -> bool:
+    """Whether :func:`get_kernel` currently resolves to JIT kernels."""
+    return _jit_module() is not None

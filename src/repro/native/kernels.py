@@ -1,0 +1,150 @@
+"""The numba-JIT kernels of the native tier.
+
+Importable **only** when :func:`repro.native.availability.native_available`
+is true — everything else goes through :func:`repro.native.dispatch.get_kernel`,
+which falls back to the pure-NumPy shadows in :mod:`repro.native.shadow`.
+Every kernel here has a same-named shadow with the identical signature;
+the ``native-parity`` analysis rule enforces the pairing statically, so
+the contract holds even in environments that cannot import this module.
+
+Design notes shared by all kernels:
+
+* **No O(E) temporaries.**  Each kernel is a single loop nest over the
+  incidence/edge arrays the plan already holds; the only writes are into
+  the caller's output buffer.  This is the whole point of the tier — the
+  vectorized kernels pay O(2E) gather/compaction temporaries per call.
+* **Deterministic parallelism.**  The one parallel kernel
+  (:func:`segment_sum_blocks`) uses ``prange`` over *row blocks*: block
+  ``b`` writes only the disjoint output window
+  ``flat_cuts[b]:flat_cuts[b+1]`` and processes its incidences in fixed
+  array order, so results are bit-identical across runs and thread counts.
+* **No ``None`` arguments.**  Optional weights are passed as a dummy
+  array plus a ``has_weights`` flag (numba specialises the branch away).
+* **``nogil`` everywhere** so shard/pool threads overlap for real, and
+  ``cache=True`` so the JIT cost is paid once per machine
+  (``NUMBA_CACHE_DIR`` relocates the cache; CI persists it).
+
+Labels use the repo-wide convention: ``-1`` (``UNKNOWN_LABEL``) marks an
+unlabelled vertex and its contributions are skipped.
+"""
+
+from __future__ import annotations
+
+from ..analysis.annotations import hot_path
+from .availability import native_available, native_status
+
+if not native_available():  # pragma: no cover - guarded by dispatch
+    raise ImportError(
+        f"repro.native.kernels requires the JIT tier: {native_status()}"
+    )
+
+from numba import njit, prange  # noqa: E402
+
+
+@hot_path(reason="fused segment-sum edge pass of the native tier")
+@njit(parallel=True, nogil=True, cache=True)
+def segment_sum_blocks(
+    out_flat,
+    owner_flat,
+    partner,
+    weights,
+    has_weights,
+    labels,
+    flat_cuts,
+    edge_cuts,
+    zero_first,
+):
+    """Block-parallel fused segment sum over ``2E`` permuted incidences.
+
+    One ``prange`` iteration per row block: zero the block's output window
+    (when ``zero_first``), then accumulate every incidence of the block —
+    ``out[owner_flat[i] + labels[partner[i]]] += w_i`` for known labels.
+    Windows are disjoint by construction of the
+    :class:`~repro.core.plan.FusedLayout` cuts, so there are no races and
+    no atomics, and the in-block order is fixed, so the result is
+    deterministic for any thread count.
+    """
+    n_blocks = flat_cuts.shape[0] - 1
+    for b in prange(n_blocks):
+        base = flat_cuts[b]
+        top = flat_cuts[b + 1]
+        if zero_first:
+            for j in range(base, top):
+                out_flat[j] = 0.0
+        for i in range(edge_cuts[b], edge_cuts[b + 1]):
+            c = labels[partner[i]]
+            if c < 0:
+                continue
+            if has_weights:
+                out_flat[owner_flat[i] + c] += weights[i]
+            else:
+                out_flat[owner_flat[i] + c] += 1.0
+
+
+@hot_path(reason="streaming/per-shard one-sided segment accumulate")
+@njit(nogil=True, cache=True)
+def segment_accumulate(out_flat, owner_flat, partner, weights, has_weights, labels):
+    """One-sided raw-sum accumulate over pre-flattened owner components.
+
+    ``out[owner_flat[i] + labels[partner[i]]] += w_i`` for known labels;
+    always ``+=`` (a row may straddle chunk boundaries in the streaming
+    path, and shard partials compose by addition).
+    """
+    for i in range(owner_flat.shape[0]):
+        c = labels[partner[i]]
+        if c < 0:
+            continue
+        if has_weights:
+            out_flat[owner_flat[i] + c] += weights[i]
+        else:
+            out_flat[owner_flat[i] + c] += 1.0
+
+
+@hot_path(reason="native chunked arrival-order edge pass")
+@njit(nogil=True, cache=True)
+def accumulate_edges_scaled(Z_flat, src, dst, weights, labels, scales, n_classes):
+    """Two-sided scaled edge pass over one arrival-order edge batch.
+
+    ``Z[u, Y[v]] += scale[v]·w`` and ``Z[v, Y[u]] += scale[u]·w`` per
+    edge, unknown labels skipped — the per-chunk kernel of the native
+    out-of-core path on layout-preserving sources.
+    """
+    for i in range(src.shape[0]):
+        u = src[i]
+        v = dst[i]
+        w = weights[i]
+        cv = labels[v]
+        if cv >= 0:
+            Z_flat[u * n_classes + cv] += scales[v] * w
+        cu = labels[u]
+        if cu >= 0:
+            Z_flat[v * n_classes + cu] += scales[u] * w
+
+
+@hot_path(reason="native O(Δ) incremental patch kernel")
+@njit(nogil=True, cache=True)
+def patch_sums(S_flat, src, dst, delta_w, labels, n_classes):
+    """O(Δ) incremental patch of flat raw per-class sums, in place.
+
+    ``S[u, Y[v]] += Δw`` and ``S[v, Y[u]] += Δw`` per signed edge — the
+    unit-scale two-sided delta kernel behind the native backend's
+    ``supports_incremental`` capability.
+    """
+    for i in range(src.shape[0]):
+        u = src[i]
+        v = dst[i]
+        w = delta_w[i]
+        cv = labels[v]
+        if cv >= 0:
+            S_flat[u * n_classes + cv] += w
+        cu = labels[u]
+        if cu >= 0:
+            S_flat[v * n_classes + cu] += w
+
+
+@hot_path(reason="native flat scatter primitive (shard-routed patches)")
+@njit(nogil=True, cache=True)
+def flat_scatter_add(out_flat, flat, weights):
+    """``out_flat[flat[i]] += weights[i]`` with duplicates summed in order."""
+    for i in range(flat.shape[0]):
+        out_flat[flat[i]] += weights[i]

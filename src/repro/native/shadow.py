@@ -1,0 +1,160 @@
+"""Pure-NumPy shadow implementations of every native kernel.
+
+The shadow-kernel equivalence contract (see ``docs/native.md``): for every
+JIT kernel in :mod:`repro.native.kernels` this module defines a function of
+the **same name and signature** computing the same sums with NumPy
+primitives.  The shadows serve three purposes:
+
+* they make the whole native tier testable in environments without numba
+  (the full conformance matrix runs against the shadows);
+* they are the documented semantics of each JIT kernel — the numba source
+  is a loop-nest transliteration of the shadow, and the ``native-parity``
+  analysis rule asserts the name-for-name pairing never drifts;
+* :func:`repro.native.dispatch.get_kernel` falls back to them when the JIT
+  tier is unavailable, so code written against the dispatcher runs
+  anywhere.
+
+Shadows and JIT kernels agree to floating-point summation order: the JIT
+loops accumulate per incidence in array order, the shadows through
+``np.bincount`` over the same order — both sum each output slot's
+contributions in increasing incidence position, so results match the
+vectorized reference within the repo-wide 1e-10 gate (and are typically
+bit-identical).
+
+These functions reuse the vectorized hot-path kernels rather than
+re-deriving them; the per-call temporaries here are the same O(2E)
+gather/compaction arrays those kernels already allocate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.gee_vectorized import (
+    _block_scatter,
+    accumulate_edges_vectorized,
+    patch_sums_vectorized,
+    scatter_add,
+)
+from ..core.validation import UNKNOWN_LABEL
+
+__all__ = [
+    "segment_sum_blocks",
+    "segment_accumulate",
+    "accumulate_edges_scaled",
+    "patch_sums",
+    "flat_scatter_add",
+]
+
+
+def segment_sum_blocks(
+    out_flat: np.ndarray,
+    owner_flat: np.ndarray,
+    partner: np.ndarray,
+    weights: np.ndarray,
+    has_weights: bool,
+    labels: np.ndarray,
+    flat_cuts: np.ndarray,
+    edge_cuts: np.ndarray,
+    zero_first: bool,
+) -> None:
+    """Block-partitioned fused segment sum over ``2E`` incidences.
+
+    The shadow of the tentpole ``prange`` kernel: for every incidence ``i``
+    in block ``b`` (``edge_cuts[b] <= i < edge_cuts[b+1]``) with a known
+    partner label, ``out_flat[owner_flat[i] + labels[partner[i]]] += w_i``;
+    block ``b`` writes only the window ``flat_cuts[b]:flat_cuts[b+1]``.
+    ``zero_first`` folds the output zeroing into the pass (block-assign
+    instead of accumulate).  Serves both fused layouts — the layout
+    compiler expresses "sorted" and "blocked" as the same block-partitioned
+    incidence arrays, only the within-block order differs.
+
+    ``weights`` is always an array (numba kernels take no ``None``); it is
+    consulted only when ``has_weights`` is true.
+    """
+    yp = labels[partner]
+    known = yp != UNKNOWN_LABEL
+    w: Optional[np.ndarray]
+    if bool(np.all(known)):
+        flat = owner_flat + yp
+        w = weights if has_weights else None
+    else:
+        # Zero-weight unknown partners instead of compacting: compaction
+        # would shift incidences across the block boundaries the JIT
+        # kernel's disjoint output windows depend on.
+        w = known.astype(np.float64) if not has_weights else weights * known
+        flat = owner_flat + np.maximum(yp, 0)
+    _block_scatter(out_flat, flat, w, flat_cuts, edge_cuts, accumulate=not zero_first)
+
+
+def segment_accumulate(
+    out_flat: np.ndarray,
+    owner_flat: np.ndarray,
+    partner: np.ndarray,
+    weights: np.ndarray,
+    has_weights: bool,
+    labels: np.ndarray,
+) -> None:
+    """One-sided raw-sum accumulate: ``out[owner_flat[i] + Y[partner[i]]] += w``.
+
+    The streaming / per-shard sibling of :func:`segment_sum_blocks`:
+    always accumulates (``+=``), carries no block structure, and takes
+    pre-multiplied ``owner*K`` flat components — the shape the sorted
+    chunked incidence sources and the shard plans already hold.
+    """
+    yp = labels[partner]
+    known = yp != UNKNOWN_LABEL
+    if not np.any(known):
+        return
+    flat = owner_flat[known] + yp[known]
+    scatter_add(out_flat, flat, weights[known] if has_weights else None)
+
+
+def accumulate_edges_scaled(
+    Z_flat: np.ndarray,
+    src: np.ndarray,
+    dst: np.ndarray,
+    weights: np.ndarray,
+    labels: np.ndarray,
+    scales: np.ndarray,
+    n_classes: int,
+) -> None:
+    """Two-sided scaled edge pass over one arrival-order edge batch.
+
+    ``Z[u, Y[v]] += scale[v]·w`` and ``Z[v, Y[u]] += scale[u]·w`` per edge
+    — the chunk kernel of the native arrival-order streaming path, shadowed
+    by the shared vectorized edge kernel so both tiers accumulate identical
+    per-chunk contributions.
+    """
+    accumulate_edges_vectorized(Z_flat, src, dst, weights, labels, scales, n_classes)
+
+
+def patch_sums(
+    S_flat: np.ndarray,
+    src: np.ndarray,
+    dst: np.ndarray,
+    delta_w: np.ndarray,
+    labels: np.ndarray,
+    n_classes: int,
+) -> None:
+    """O(Δ) incremental patch: the unit-scale two-sided delta kernel.
+
+    ``S[u, Y[v]] += Δw`` and ``S[v, Y[u]] += Δw`` per signed edge — what
+    :class:`~repro.stream.IncrementalEmbedding` runs through the ``native``
+    backend's incremental protocol.
+    """
+    patch_sums_vectorized(S_flat, src, dst, delta_w, labels, n_classes)
+
+
+def flat_scatter_add(
+    out_flat: np.ndarray, flat: np.ndarray, weights: np.ndarray
+) -> None:
+    """``out_flat[flat[i]] += weights[i]`` with duplicates summed.
+
+    The primitive behind the shard-routed patch path (flat indices are
+    precomputed there); shadowed by the fill-ratio-adaptive
+    :func:`~repro.core.gee_vectorized.scatter_add`.
+    """
+    scatter_add(out_flat, flat, weights)

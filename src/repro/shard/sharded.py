@@ -73,6 +73,24 @@ __all__ = ["Shard", "ShardSpec", "ShardedGraph", "patch_sums_sharded"]
 #: (below this the dispatch overhead dwarfs the scatter work).
 _PATCH_THREAD_THRESHOLD = 4096
 
+#: Accepted values of the ``kernel`` execution selector: ``"numpy"`` is the
+#: vectorized owner-computes kernel (the default, bitwise-pinned against the
+#: single-pool fused pass), ``"native"`` the JIT tier via
+#: :func:`repro.native.dispatch.get_kernel` (which itself shadows to NumPy
+#: when numba is absent), ``"shadow"`` the native tier's pure-NumPy shadows
+#: pinned explicitly (the equivalence-test hook).
+_KERNELS = ("numpy", "native", "shadow")
+
+#: Dummy weights for unit-weight shards on the native path (the JIT
+#: kernels take no ``None``).
+_EMPTY_WEIGHTS = np.empty(0, dtype=np.float64)
+
+
+def _check_kernel(kernel: str) -> str:
+    if kernel not in _KERNELS:
+        raise ValueError(f"kernel must be one of {_KERNELS}, got {kernel!r}")
+    return kernel
+
 
 def _rows_per_block(n_classes: int) -> int:
     """Rows per L2-sized block for the segment-sum kernel (same budget as
@@ -114,6 +132,11 @@ class Shard:
     def __init__(self, spec: ShardSpec, incidence_graph) -> None:
         self.spec = spec
         self.graph = incidence_graph
+        #: Per-K cache of shard-local ``owner*K`` flat components (global
+        #: ``plan.src_flat`` rebased to the shard's row window) — compiled
+        #: once so the native path stays free of per-call O(incidence)
+        #: temporaries, like every other plan artifact.
+        self._local_flat: Dict[int, np.ndarray] = {}
 
     @property
     def n_incidences(self) -> int:
@@ -123,19 +146,62 @@ class Shard:
         """The shard's compiled per-K embed plan (facade-cached)."""
         return self.graph.plan(int(n_classes))
 
+    def local_flat(self, n_classes: int) -> np.ndarray:
+        """Shard-local flat owner components: ``(owner - row_lo) * K`` sorted.
+
+        Indexes the shard's own ``[row_lo*K, row_hi*K)`` slice of the output,
+        so shard kernels write disjoint memory — the native thread path and
+        the shadow ``scatter_add`` both stay race-free.
+        """
+        k = int(n_classes)
+        cached = self._local_flat.get(k)
+        if cached is None:
+            cached = self.plan(k).src_flat - self.spec.row_lo * k
+            self._local_flat[k] = cached
+        return cached
+
     def accumulate_into(
-        self, out_flat: np.ndarray, y: np.ndarray, n_classes: int, *, fully_labelled: bool
+        self,
+        out_flat: np.ndarray,
+        y: np.ndarray,
+        n_classes: int,
+        *,
+        fully_labelled: bool,
+        kernel: str = "numpy",
     ) -> None:
         """Raw class sums of this shard's rows, written into ``out_flat``.
 
         ``out_flat`` is full ``(n*K,)`` shape; only the slots of rows
-        ``[row_lo, row_hi)`` are written (block-assigned, not accumulated),
-        so partials of different shards compose by plain addition.
+        ``[row_lo, row_hi)`` are written (block-assigned for ``"numpy"``,
+        accumulated into the zeroed window on the native path), so partials
+        of different shards compose by plain addition.
+
+        ``kernel`` selects the execution tier (see :data:`_KERNELS`): the
+        native tier runs the one-sided JIT segment accumulate over the
+        shard's own output slice with shard-local flat indices — a shard's
+        half-edge graph must **not** be recompiled into a fused layout
+        (that would re-double the incidences), so the existing shard plan
+        arrays feed the kernel directly.
         """
         spec = self.spec
         if spec.row_hi <= spec.row_lo:
             return
         plan = self.plan(n_classes)
+        if kernel != "numpy":
+            from ..native.dispatch import get_kernel
+
+            seg = get_kernel("segment_accumulate", force_shadow=kernel == "shadow")
+            k = int(n_classes)
+            weights = None if plan.unit_weights else plan.weights
+            seg(
+                out_flat[spec.row_lo * k : spec.row_hi * k],
+                self.local_flat(k),
+                plan.dst,
+                _EMPTY_WEIGHTS if weights is None else weights,
+                weights is not None,
+                y,
+            )
+            return
         accumulate_fused_rows_sorted(
             out_flat,
             plan.src_flat,
@@ -242,16 +308,26 @@ def _patch_shard_rows(
     partner_labels: np.ndarray,
     delta_w: np.ndarray,
     n_classes: int,
+    kernel: str = "numpy",
 ) -> None:
     """Apply one shard's routed one-sided patches to its own row slice.
 
     Operates on the ``[row_lo*K, row_hi*K)`` slice with shard-local flat
     indices, so concurrent shard patches touch disjoint memory — the dense
-    ``bincount`` path of :func:`scatter_add` stays thread-safe.
+    ``bincount`` path of :func:`scatter_add` (and the native
+    ``flat_scatter_add`` loop) stays thread-safe.
     """
     k = int(n_classes)
     view = S_flat[row_lo * k : row_hi * k]
-    scatter_add(view, (owner - row_lo) * k + partner_labels, delta_w)
+    flat = (owner - row_lo) * k + partner_labels
+    if kernel != "numpy":
+        from ..native.dispatch import get_kernel
+
+        get_kernel("flat_scatter_add", force_shadow=kernel == "shadow")(
+            view, flat, np.ascontiguousarray(delta_w, dtype=np.float64)
+        )
+        return
+    scatter_add(view, flat, delta_w)
 
 
 def patch_sums_sharded(
@@ -265,6 +341,7 @@ def patch_sums_sharded(
     row_cuts: Optional[np.ndarray] = None,
     n_shards: Optional[int] = None,
     n_workers: Optional[int] = None,
+    kernel: str = "numpy",
 ) -> None:
     """Shard-routed O(Δ) patch of flat raw per-class sums, in place.
 
@@ -278,8 +355,10 @@ def patch_sums_sharded(
     ``row_cuts`` are a :class:`ShardedGraph`'s real owner-range boundaries
     when called through one; standalone calls (the backend's incremental
     protocol has no graph in scope) use even row cuts — routing is a
-    performance choice, never a correctness one.
+    performance choice, never a correctness one.  ``kernel`` selects the
+    per-shard scatter tier (see :data:`_KERNELS`).
     """
+    _check_kernel(kernel)
     k = int(n_classes)
     if src.size == 0 or S_flat.size == 0:
         return
@@ -312,11 +391,11 @@ def patch_sums_sharded(
     workers = effective_worker_count(n_workers)
     if len(tasks) <= 1 or workers <= 1 or owner.size < _PATCH_THREAD_THRESHOLD:
         for row_lo, row_hi, o, p, w in tasks:
-            _patch_shard_rows(S_flat, row_lo, row_hi, o, p, w, k)
+            _patch_shard_rows(S_flat, row_lo, row_hi, o, p, w, k, kernel)
         return
     with ThreadPoolExecutor(max_workers=min(workers, len(tasks))) as ex:
         futures = [
-            ex.submit(_patch_shard_rows, S_flat, row_lo, row_hi, o, p, w, k)
+            ex.submit(_patch_shard_rows, S_flat, row_lo, row_hi, o, p, w, k, kernel)
             for row_lo, row_hi, o, p, w in tasks
         ]
         for fut in futures:
@@ -414,20 +493,30 @@ class ShardedGraph:
         n_classes: Optional[int] = None,
         *,
         n_workers: Optional[int] = None,
+        kernel: str = "numpy",
     ) -> EmbeddingResult:
         """GEE over the shards; per-shard sums combined by tree reduction.
 
         ``n_workers=None`` auto-sizes (never more workers than shards or
         CPUs); an explicit positive request is honoured up to the shard
-        count and requires ``fork`` when above one, exactly like
+        count and — on the default ``"numpy"`` kernel — requires ``fork``
+        when above one, exactly like
         :func:`~repro.core.gee_parallel.gee_parallel`.
+
+        ``kernel`` selects the per-shard execution tier (see
+        :data:`_KERNELS`).  The native tier needs no fork pool: its
+        ``nogil`` kernels run shard-parallel on *threads* into one shared
+        output buffer (shards own disjoint row slices), and each shard is
+        processed start-to-finish by one task in fixed order, so the result
+        stays deterministic for any worker count.
         """
+        _check_kernel(kernel)
         y, k = validate_labels(labels, self.n_vertices, n_classes)
         t0 = time.perf_counter()
         fully = bool(y.size) and int(y.min()) != UNKNOWN_LABEL
         explicit = n_workers is not None and int(n_workers) > 0
         requested = resolve_worker_count(n_workers)
-        if explicit and requested > 1 and not fork_available():
+        if kernel == "numpy" and explicit and requested > 1 and not fork_available():
             raise RuntimeError(
                 f"ShardedGraph: n_workers={requested} requested but the 'fork' "
                 "start method is unavailable on this platform; pass n_workers=1 "
@@ -437,7 +526,9 @@ class ShardedGraph:
         if not explicit:
             workers = min(workers, effective_worker_count(None))
         t1 = time.perf_counter()
-        if workers <= 1 or not fork_available() or self.n_edges == 0:
+        if kernel != "numpy":
+            S_flat = self._raw_sums_native(y, k, fully, workers, kernel)
+        elif workers <= 1 or not fork_available() or self.n_edges == 0:
             S_flat = self._raw_sums_serial(y, k, fully)
             workers = 1
         else:
@@ -445,13 +536,16 @@ class ShardedGraph:
         Z = S_flat.reshape(self.n_vertices, k)
         class_rescale(Z, y, k)
         t2 = time.perf_counter()
+        method = f"gee-sharded[{self.n_shards}]"
+        if kernel != "numpy":
+            method = f"gee-sharded-{kernel}[{self.n_shards}]"
         return EmbeddingResult(
             embedding=Z,
             projection_builder=lambda: projection_from_scales(
                 y, projection_scales(y, k), k
             ),
             timings={"projection": t1 - t0, "edge_pass": t2 - t1, "total": t2 - t0},
-            method=f"gee-sharded[{self.n_shards}]",
+            method=method,
             n_workers=workers,
             layout="sorted",
         )
@@ -484,6 +578,47 @@ class ShardedGraph:
                 ) from exc
             partials.append(part)
         return tree_reduce(partials).reshape(-1)
+
+    def _raw_sums_native(
+        self, y: np.ndarray, k: int, fully: bool, workers: int, kernel: str
+    ) -> np.ndarray:
+        """Native-tier raw sums: shard-parallel threads, one shared buffer.
+
+        Every shard accumulates into its own disjoint ``[row_lo*K,
+        row_hi*K)`` window (see :meth:`Shard.accumulate_into`), so no
+        per-shard partials and no tree reduction are needed — the native
+        kernels release the GIL, so threads genuinely overlap where numba
+        is present, and degrade to a serial sweep over the shadows where it
+        is not.  Deterministic: one task per shard, fixed in-shard order.
+        """
+        S_flat = np.zeros(self.n_vertices * k, dtype=np.float64)
+
+        def run(shard: Shard) -> None:
+            spec = shard.spec
+            try:
+                with trace(
+                    "shard.accumulate",
+                    shard=spec.shard_id,
+                    rows=spec.row_hi - spec.row_lo,
+                ):
+                    shard.accumulate_into(
+                        S_flat, y, k, fully_labelled=fully, kernel=kernel
+                    )
+            except BaseException as exc:
+                raise RuntimeError(
+                    f"shard {spec.shard_id} (rows [{spec.row_lo}, {spec.row_hi}), "
+                    f"backend=native) failed: {exc}"
+                ) from exc
+
+        active = [s for s in self._shards if s.spec.row_hi > s.spec.row_lo]
+        if workers <= 1 or len(active) <= 1:
+            for shard in active:
+                run(shard)
+            return S_flat
+        with ThreadPoolExecutor(max_workers=min(workers, len(active))) as ex:
+            for future in [ex.submit(run, shard) for shard in active]:
+                future.result()
+        return S_flat
 
     def _raw_sums_pooled(self, y: np.ndarray, k: int, fully: bool, workers: int) -> np.ndarray:
         pool = self._ensure_pool(workers)
@@ -527,6 +662,7 @@ class ShardedGraph:
         n_classes: int,
         *,
         n_workers: Optional[int] = None,
+        kernel: str = "numpy",
     ) -> None:
         """Route a signed edge delta to owning shards (O(Δ), in place)."""
         patch_sums_sharded(
@@ -538,6 +674,7 @@ class ShardedGraph:
             n_classes,
             row_cuts=self.row_cuts,
             n_workers=n_workers,
+            kernel=kernel,
         )
 
     # ------------------------------------------------------------------ #

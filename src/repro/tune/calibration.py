@@ -184,6 +184,27 @@ def calibrate(
         samples.append((graph.n_vertices, graph.n_edges, best))
     coefficients["sharded:sorted"] = _fit_coefficients(samples)
 
+    # The native JIT tier, where importable: both fused layouts through the
+    # real backend (compile cost is warmed away; the fit sees only the
+    # steady-state kernel).  Absent numba the rows are simply not recorded,
+    # and the payload's "native" flag makes the cache stale if the tier
+    # later appears (or disappears) on this machine.
+    from ..native.availability import native_available, numba_version
+
+    if native_available():
+        backend = get_backend("native")
+        for layout in ("sorted", "blocked"):
+            samples = []
+            for graph, labels in cases:
+                plan = graph.plan(K_CAL, layout=layout)
+                backend.embed_with_plan(plan, labels)  # warm: JIT + caches
+                best = _best_seconds(
+                    lambda b=backend, p=plan, y=labels: b.embed_with_plan(p, y),
+                    repeats,
+                )
+                samples.append((graph.n_vertices, graph.n_edges, best))
+            coefficients[f"native:{layout}"] = _fit_coefficients(samples)
+
     # The interpreted loop: one point pins its (huge) per-edge cost.
     graph, labels = cases[0]
     backend = get_backend("python")
@@ -224,6 +245,8 @@ def calibrate(
         "k_cal": K_CAL,
         "repeats": repeats,
         "parallel_workers": parallel_workers,
+        "native": native_available(),
+        "numba": numba_version(),
         "coefficients": coefficients,
     }
 
@@ -270,6 +293,14 @@ def calibration_staleness(data: Dict) -> Optional[str]:
             f"calibrated on {data.get('cpu_count')} CPUs, running on "
             f"{os.cpu_count()}"
         )
+    from ..native.availability import native_available
+
+    if bool(data.get("native")) != native_available():
+        # Installing (or disabling) numba changes the candidate set and its
+        # measured rankings; remeasure rather than trust half a picture.
+        was = "with" if data.get("native") else "without"
+        now = "with" if native_available() else "without"
+        return f"calibrated {was} the native tier, running {now} it"
     if not isinstance(data.get("coefficients"), dict) or not data["coefficients"]:
         return "no coefficients recorded"
     return None

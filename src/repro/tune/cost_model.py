@@ -83,16 +83,40 @@ DEFAULT_CALIBRATION: Dict = {
             "per_edge_s": 1.1e-08,
             "per_cell_s": 2.0e-09,
         },
+        # The numba-JIT tier: one fused loop nest with no O(E) temporaries,
+        # so the per-edge stream runs well below the vectorized floor
+        # (ratios from the reference container with numba present; a
+        # per-machine calibration measures the real numbers).  These rows
+        # are only ever *candidates* where the tier is importable —
+        # _candidates() checks availability, so on numba-less machines the
+        # coefficients are inert.
+        "native:sorted": {
+            "fixed_s": 2.0e-05,
+            "per_edge_s": 4.0e-09,
+            "per_cell_s": 1.0e-09,
+        },
+        "native:blocked": {
+            "fixed_s": 2.0e-05,
+            "per_edge_s": 4.5e-09,
+            "per_cell_s": 1.0e-09,
+        },
     },
 }
 
 #: Configurations eligible for the chunked (out-of-core) path.
-_CHUNK_CAPABLE = ("vectorized:sorted", "vectorized:none", "sparse:none")
+_CHUNK_CAPABLE = ("vectorized:sorted", "vectorized:none", "sparse:none", "native:sorted")
 
 #: The interpreted loop is only ever competitive on toy graphs; beyond this
 #: edge count its candidacy is suppressed so a miscalibrated fixed term can
 #: never select it at scale.
 _PYTHON_MAX_EDGES = 50_000
+
+
+def _native_candidate_ok() -> bool:
+    """Whether ``native:*`` rows may compete (the JIT tier is importable)."""
+    from ..native.availability import native_available
+
+    return native_available()
 
 
 @dataclass(frozen=True)
@@ -209,6 +233,12 @@ class CostModel:
                 # The sharded backend rejects pre-chunked plans; its own
                 # out-of-core path goes through ShardedGraph explicitly.
                 continue
+            if backend == "native" and not _native_candidate_ok():
+                # The JIT tier registers conditionally; a model carrying
+                # native coefficients (defaults, or a calibration from a
+                # numba-equipped twin) must never choose a backend this
+                # process cannot construct.
+                continue
             names.append(config)
         return tuple(names)
 
@@ -280,6 +310,10 @@ class CostModel:
         elif backend == "sharded":
             n_shards = shard_counts.get(best, 1)
             n_workers = min(workers, n_shards) if min(workers, n_shards) > 1 else None
+        elif backend == "native":
+            # The prange kernel sizes its own thread pool; pass the cap
+            # only when there is actual parallelism to use.
+            n_workers = workers if workers > 1 else None
         return ExecutionChoice(
             backend=backend,
             layout=layout,

@@ -1,0 +1,196 @@
+"""Fixture tests for ``native-parity`` and the njit exemption in hot-path-alloc.
+
+The parity rule is project-scoped over three files whose relative paths end
+with ``native/kernels.py``, ``native/shadow.py`` and ``native/dispatch.py``,
+so each fixture writes a miniature native package under ``tmp_path`` and
+analyzes the directory.  The live half of the rule always inspects the real
+:mod:`repro.native.dispatch` — which must itself be parity-clean, so fixture
+findings below are exactly the static ones.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import analyze_paths
+
+_DISPATCH_OK = """
+NATIVE_KERNEL_NAMES = ("segment_sum", "patch_sums")
+"""
+
+_KERNELS_OK = """
+from numba import njit
+from repro.analysis.annotations import hot_path
+
+@hot_path(reason="jit kernel")
+@njit(cache=True, parallel=True)
+def segment_sum(out, flat, weights):
+    return out
+
+@hot_path
+@njit(cache=True)
+def patch_sums(S_flat, src, dst, delta, labels, k):
+    return S_flat
+"""
+
+_SHADOW_OK = """
+import numpy as np
+
+def segment_sum(out, flat, weights):
+    return out
+
+def patch_sums(S_flat, src, dst, delta, labels, k):
+    return S_flat
+"""
+
+
+def _native_project(tmp_path, kernels=_KERNELS_OK, shadow=_SHADOW_OK,
+                    dispatch=_DISPATCH_OK):
+    pkg = tmp_path / "native"
+    pkg.mkdir()
+    for name, source in (
+        ("kernels.py", kernels), ("shadow.py", shadow), ("dispatch.py", dispatch)
+    ):
+        (pkg / name).write_text(textwrap.dedent(source).lstrip("\n"))
+    return analyze_paths([pkg], rules=["native-parity"], root=tmp_path)
+
+
+class TestNativeParity:
+    def test_matched_tier_is_clean(self, tmp_path):
+        assert _native_project(tmp_path) == []
+
+    def test_missing_shadow_is_flagged(self, tmp_path):
+        shadow = _SHADOW_OK.replace(
+            "def patch_sums(S_flat, src, dst, delta, labels, k):\n    return S_flat",
+            "",
+        )
+        findings = _native_project(tmp_path, shadow=shadow)
+        messages = [f.message for f in findings]
+        assert any("no same-named shadow" in m for m in messages)
+        # ...and the inventory half also notices the asymmetry is one-sided
+        # only: the kernel itself is still inventoried, so exactly the
+        # missing-shadow finding (anchored on the kernel def) fires.
+        missing = [f for f in findings if "no same-named shadow" in f.message]
+        assert missing[0].symbol == "patch_sums"
+        assert missing[0].path.endswith("native/kernels.py")
+
+    def test_missing_inventory_entry_is_flagged(self, tmp_path):
+        dispatch = 'NATIVE_KERNEL_NAMES = ("segment_sum",)\n'
+        findings = _native_project(tmp_path, dispatch=dispatch)
+        flagged = {
+            (f.symbol, "missing from NATIVE_KERNEL_NAMES" in f.message)
+            for f in findings
+        }
+        # Both the JIT def and its shadow report the inventory hole.
+        assert ("patch_sums", True) in flagged
+        assert len([f for f in findings if f.symbol == "patch_sums"]) == 2
+
+    def test_missing_hot_path_is_flagged(self, tmp_path):
+        kernels = _KERNELS_OK.replace('@hot_path(reason="jit kernel")\n', "")
+        findings = _native_project(tmp_path, kernels=kernels)
+        assert [f.symbol for f in findings] == ["segment_sum"]
+        assert "lacks @hot_path" in findings[0].message
+
+    def test_orphan_inventory_name_is_flagged(self, tmp_path):
+        dispatch = (
+            'NATIVE_KERNEL_NAMES = ("segment_sum", "patch_sums", "fft_pass")\n'
+        )
+        findings = _native_project(tmp_path, dispatch=dispatch)
+        assert [f.symbol for f in findings] == ["fft_pass"]
+        assert "neither" in findings[0].message
+        assert findings[0].path.endswith("native/dispatch.py")
+
+    def test_non_literal_inventory_is_flagged(self, tmp_path):
+        dispatch = "NATIVE_KERNEL_NAMES = tuple(sorted(_REGISTRY))\n"
+        findings = _native_project(tmp_path, dispatch=dispatch)
+        assert len(findings) == 1
+        assert "not a literal tuple" in findings[0].message
+
+    def test_shadow_without_kernel_is_flagged(self, tmp_path):
+        kernels = _KERNELS_OK.replace("@njit(cache=True)\n", "")
+        findings = _native_project(tmp_path, kernels=kernels)
+        # patch_sums is no longer jitted: its shadow is orphaned and the
+        # shadow-side inventory check still holds (name stays inventoried).
+        orphan = [f for f in findings if "nothing compiles" in f.message]
+        assert [f.symbol for f in orphan] == ["patch_sums"]
+        assert orphan[0].path.endswith("native/shadow.py")
+
+    def test_rule_skips_projects_without_native_files(self, tmp_path):
+        other = tmp_path / "mod.py"
+        other.write_text("X = 1\n")
+        assert analyze_paths([other], rules=["native-parity"], root=tmp_path) == []
+
+    def test_real_tree_is_parity_clean(self):
+        from pathlib import Path
+
+        import repro
+
+        src = Path(repro.__file__).resolve().parents[1]
+        findings = analyze_paths(
+            [src / "repro" / "native"], rules=["native-parity"], root=src
+        )
+        assert findings == []
+
+
+class TestHotPathAllocNjitExemption:
+    def _run(self, tmp_path, source):
+        path = tmp_path / "mod.py"
+        path.write_text(textwrap.dedent(source).lstrip("\n"))
+        return analyze_paths([path], rules=["hot-path-alloc"], root=tmp_path)
+
+    def test_edge_loops_are_exempt_inside_njit(self, tmp_path):
+        findings = self._run(
+            tmp_path,
+            """
+            import numpy as np
+            from numba import njit, prange
+            from repro.analysis.annotations import hot_path
+
+            @hot_path(reason="jit kernel: loops compile to machine code")
+            @njit(cache=True, parallel=True)
+            def kernel(out, src, dst, weights):
+                for i in prange(len(src)):
+                    out[dst[i]] += weights[i]
+                for u in src:
+                    pass
+            """,
+        )
+        assert findings == []
+
+    def test_same_loops_flag_without_njit(self, tmp_path):
+        findings = self._run(
+            tmp_path,
+            """
+            import numpy as np
+            from repro.analysis.annotations import hot_path
+
+            @hot_path
+            def kernel(out, src, dst, weights):
+                for i in range(len(src)):
+                    out[dst[i]] += weights[i]
+            """,
+        )
+        assert [f.line for f in findings] == [6]
+        assert "Python-level loop" in findings[0].message
+
+    def test_allocation_check_still_fires_inside_njit(self, tmp_path):
+        findings = self._run(
+            tmp_path,
+            """
+            import numpy as np
+            from numba import njit
+            from repro.analysis.annotations import hot_path
+
+            @hot_path
+            @njit(cache=True)
+            def kernel(src, dst, n_classes):
+                scratch = np.zeros(len(src) * n_classes)
+                for i in range(len(src)):
+                    scratch[i] = src[i]
+                return scratch
+            """,
+        )
+        # The loop is exempt, the O(E·K) allocation is not: jitting removes
+        # interpreter overhead, not memory traffic.
+        assert [f.line for f in findings] == [8]
+        assert "reused buffers" in findings[0].message

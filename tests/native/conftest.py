@@ -1,0 +1,85 @@
+"""Fixtures for the native-tier tests.
+
+The structural case matrix mirrors the cross-backend conformance grid
+(weighted / unweighted / self-loops / duplicate edges / isolated vertices,
+each swept with full and partial labels); every native-tier execution path
+must reproduce the vectorized reference embedding to 1e-10 on all of it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.edgelist import EdgeList
+from repro.graph.facade import Graph
+
+K = 4
+
+#: Structural case builders, by name (the test modules parameterize over
+#: CASE_NAMES so a failing case is named in the test id).
+CASE_NAMES = ("unweighted", "weighted", "self-loops", "duplicates", "isolated")
+
+
+def _labels(n: int, rng: np.random.Generator) -> np.ndarray:
+    y = rng.integers(0, K, size=n).astype(np.int64)
+    y[0] = 0  # every class-0 test graph keeps at least one known label
+    return y
+
+
+def _partial(y: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    masked = y.copy()
+    masked[rng.random(y.size) < 0.4] = -1
+    if np.all(masked == -1):
+        masked[0] = 0
+    return masked
+
+
+def _build(name: str):
+    rng = np.random.default_rng(hash(name) % (1 << 32))
+    n = 40
+    src = rng.integers(0, n, size=120)
+    dst = rng.integers(0, n, size=120)
+    weights = None
+    if name == "unweighted":
+        keep = src != dst
+        src, dst = src[keep], dst[keep]
+    elif name == "weighted":
+        keep = src != dst
+        src, dst = src[keep], dst[keep]
+        weights = rng.uniform(0.1, 3.0, size=src.size)
+    elif name == "self-loops":
+        src[:20] = dst[:20]  # a run of explicit self loops
+        weights = rng.uniform(0.5, 2.0, size=src.size)
+    elif name == "duplicates":
+        src = np.concatenate([src, src[:40]])
+        dst = np.concatenate([dst, dst[:40]])
+        weights = rng.uniform(0.1, 2.0, size=src.size)
+    elif name == "isolated":
+        # Vertices [30, 40) never appear on either endpoint.
+        src = src % 30
+        dst = dst % 30
+    else:  # pragma: no cover - typo guard
+        raise KeyError(name)
+    edges = EdgeList(src, dst, weights, n)
+    y = _labels(n, rng)
+    return Graph.coerce(edges), y, _partial(y, rng)
+
+
+@pytest.fixture(scope="session")
+def structural_cases():
+    """``{name: (graph, labels_full, labels_partial)}`` for CASE_NAMES."""
+    return {name: _build(name) for name in CASE_NAMES}
+
+
+@pytest.fixture(scope="session")
+def reference_embedding():
+    """Callable: the vectorized reference embedding (detached copy)."""
+    from repro.backends import get_backend
+
+    backend = get_backend("vectorized")
+
+    def compute(graph, labels, k=K):
+        return np.array(backend.embed(graph, labels, k).embedding, copy=True)
+
+    return compute

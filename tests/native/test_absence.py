@@ -1,0 +1,157 @@
+"""Graceful absence: the tier disappears cleanly, never with an ImportError.
+
+The availability probe caches per process and registration happens at
+import of :mod:`repro.backends`, so both absence modes are exercised in
+subprocesses: ``REPRO_DISABLE_NATIVE=1`` (explicit opt-out, works with or
+without numba installed) and a meta-path import blocker (simulates numba
+being uninstalled even on machines that have it).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = str(REPO_ROOT / "src")
+
+#: Meta-path blocker: makes ``import numba`` raise ModuleNotFoundError no
+#: matter what is installed, before any repro import runs.
+_BLOCK_NUMBA = """
+import sys
+
+class _Block:
+    def find_module(self, name, path=None):
+        return self if name.split(".")[0] == "numba" else None
+    def find_spec(self, name, path=None, target=None):
+        if name.split(".")[0] == "numba":
+            raise ModuleNotFoundError("numba blocked by test")
+        return None
+
+sys.meta_path.insert(0, _Block())
+"""
+
+_ASSERT_ABSENT = """
+from repro.native import native_available, native_status
+assert native_available() is False, native_status()
+
+from repro.backends import get_backend, list_backends
+from repro.backends.registry import resolve_backend_name
+
+assert "native" not in list_backends(), list_backends()
+
+try:
+    resolve_backend_name("native")
+except ValueError as exc:
+    message = str(exc)
+    assert "not available" in message, message
+    assert native_status() in message, message
+else:
+    raise AssertionError("resolving 'native' should have raised ValueError")
+
+# auto never considers the absent tier, even with native coefficients in
+# the default model.
+from repro.tune import get_cost_model
+choice = get_cost_model().choose(1 << 16, 1 << 20, 50, n_workers_available=8)
+assert choice.backend != "native", choice
+assert all(not c.startswith("native") for c in choice.predictions), choice
+
+# ...and the shadow execution paths still run end to end.
+import numpy as np
+from repro.graph.edgelist import EdgeList
+from repro.graph.facade import Graph
+from repro.native import NativeGEEBackend
+
+rng = np.random.default_rng(0)
+graph = Graph.coerce(EdgeList(rng.integers(0, 20, 50), rng.integers(0, 20, 50), None, 20))
+labels = rng.integers(-1, 3, 20).astype("int64")
+Z = NativeGEEBackend(force_shadow=True).embed(graph, labels, 3).embedding
+ref = get_backend("vectorized").embed(graph, labels, 3).embedding
+assert float(np.max(np.abs(Z - ref))) <= 1e-10
+print("ABSENT-OK")
+"""
+
+
+def _run(code: str, env_extra=None) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_DISABLE_NATIVE", None)
+    env.update(env_extra or {})
+    return subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env=env,
+        timeout=120,
+    )
+
+
+class TestDisableEnvVar:
+    def test_env_var_hides_the_tier(self):
+        proc = _run(_ASSERT_ABSENT, {"REPRO_DISABLE_NATIVE": "1"})
+        assert proc.returncode == 0, proc.stderr
+        assert "ABSENT-OK" in proc.stdout
+
+    def test_status_names_the_env_var(self):
+        proc = _run(
+            "from repro.native import native_available, native_status\n"
+            "assert not native_available()\n"
+            "assert 'REPRO_DISABLE_NATIVE' in native_status(), native_status()\n"
+            "print('OK')",
+            {"REPRO_DISABLE_NATIVE": "yes-really"},
+        )
+        assert proc.returncode == 0, proc.stderr
+
+    def test_tier1_native_suite_passes_disabled(self):
+        """The native test directory itself passes with the tier disabled —
+        the shadows carry the whole conformance matrix."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        env["REPRO_DISABLE_NATIVE"] = "1"
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "pytest", "-q", "-p", "no:cacheprovider",
+                "tests/native/test_shadow_equivalence.py",
+                "tests/native/test_backend.py",
+            ],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env=env,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+class TestImportBlocker:
+    def test_blocked_numba_degrades_identically(self):
+        proc = _run(_BLOCK_NUMBA + _ASSERT_ABSENT)
+        assert proc.returncode == 0, proc.stderr
+        assert "ABSENT-OK" in proc.stdout
+
+    def test_import_never_raises(self):
+        proc = _run(
+            _BLOCK_NUMBA
+            + "import repro.native\n"
+            + "import repro.backends\n"
+            + "import repro.native.dispatch as d\n"
+            + "assert d.using_native() is False\n"
+            + "print('OK')"
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "OK" in proc.stdout
+
+
+@pytest.mark.skipif(
+    not __import__("repro.native", fromlist=["native_available"]).native_available(),
+    reason="numba not installed: disable-parity needs a present tier to flip off",
+)
+class TestDisableWithNumbaPresent:
+    def test_disable_wins_over_installed_numba(self):
+        proc = _run(_ASSERT_ABSENT, {"REPRO_DISABLE_NATIVE": "1"})
+        assert proc.returncode == 0, proc.stderr

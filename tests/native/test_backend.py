@@ -1,0 +1,165 @@
+"""The ``native`` backend: registration, graceful absence, shadow execution.
+
+Conditional registration is the availability contract's registry face: a
+process where the JIT tier cannot run must see no ``native`` entry at all
+— ``list_backends()`` omits it, ``backend="auto"`` never considers it,
+and resolving the name raises a ValueError that *names the reason* instead
+of an ImportError.  ``force_shadow=True`` bypasses the availability gate
+(pinning the NumPy shadows) so the full protocol surface is testable
+either way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import get_backend, list_backends
+from repro.backends.registry import resolve_backend_name
+from repro.native import (
+    NATIVE_CAPABILITIES,
+    NativeGEEBackend,
+    native_available,
+    native_status,
+    register_native_backend,
+)
+
+from conftest import K
+
+ATOL = 1e-10
+
+
+class TestConditionalRegistration:
+    def test_registry_state_matches_availability(self):
+        assert ("native" in list_backends()) == native_available()
+
+    def test_register_is_idempotent_and_availability_gated(self):
+        assert register_native_backend() == native_available()
+        assert register_native_backend() == native_available()  # no raise
+        assert ("native" in list_backends()) == native_available()
+
+    def test_resolving_absent_native_names_the_reason(self):
+        if native_available():
+            pytest.skip("tier present: resolution succeeds by construction")
+        with pytest.raises(ValueError) as excinfo:
+            resolve_backend_name("native")
+        message = str(excinfo.value)
+        assert "not available" in message
+        assert native_status() in message
+        # The reason must never surface as an ImportError.
+        assert not isinstance(excinfo.value, ImportError)
+
+    def test_get_backend_absent_native_raises_valueerror(self):
+        if native_available():
+            pytest.skip("tier present: construction succeeds by construction")
+        with pytest.raises(ValueError, match="not available"):
+            get_backend("native")
+
+    def test_constructor_guards_availability(self):
+        if native_available():
+            pytest.skip("tier present: the guard is inert")
+        with pytest.raises(RuntimeError, match="force_shadow"):
+            NativeGEEBackend()
+
+    def test_capabilities_describe_the_full_protocol(self):
+        caps = NATIVE_CAPABILITIES
+        assert caps.supports_chunked
+        assert caps.supports_incremental
+        assert caps.supports_layout
+        assert caps.supports_sharding
+        assert caps.parallel and caps.deterministic
+        assert "numba" in caps.description
+
+    def test_auto_never_selects_an_absent_native(self):
+        if native_available():
+            pytest.skip("tier present: auto may legitimately select it")
+        from repro.tune import get_cost_model
+
+        model = get_cost_model()
+        for n, e, k in ((1 << 10, 1 << 12, 8), (1 << 16, 1 << 20, 50)):
+            choice = model.choose(n, e, k, n_workers_available=8)
+            assert choice.backend != "native"
+            assert all(not c.startswith("native") for c in choice.predictions)
+
+
+class TestShadowBackendProtocol:
+    @pytest.fixture()
+    def backend(self):
+        return NativeGEEBackend(force_shadow=True)
+
+    def test_embed_matches_reference(
+        self, backend, structural_cases, reference_embedding
+    ):
+        for graph, y, y_partial in structural_cases.values():
+            for labels in (y, y_partial):
+                result = backend.embed(graph, labels, K)
+                np.testing.assert_allclose(
+                    np.asarray(result.embedding),
+                    reference_embedding(graph, labels),
+                    atol=ATOL,
+                    rtol=0,
+                )
+
+    def test_embed_with_plan_and_layouts(
+        self, backend, structural_cases, reference_embedding
+    ):
+        graph, y, _ = structural_cases["weighted"]
+        for layout in (None, "sorted", "blocked"):
+            plan = graph.plan(K, layout=layout)
+            result = backend.embed_with_plan(plan, y)
+            np.testing.assert_allclose(
+                np.asarray(result.embedding),
+                reference_embedding(graph, y),
+                atol=ATOL,
+                rtol=0,
+            )
+
+    def test_chunked_plan(self, backend, structural_cases, reference_embedding):
+        graph, y, _ = structural_cases["duplicates"]
+        plan = graph.plan(K, chunk_edges=13, layout="sorted")
+        result = backend.embed_with_plan(plan, y)
+        np.testing.assert_allclose(
+            np.asarray(result.embedding),
+            reference_embedding(graph, y),
+            atol=ATOL,
+            rtol=0,
+        )
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 7])
+    def test_sharded_option(self, structural_cases, reference_embedding, n_shards):
+        backend = NativeGEEBackend(force_shadow=True, n_shards=n_shards)
+        graph, y, y_partial = structural_cases["weighted"]
+        for labels in (y, y_partial):
+            result = backend.embed(graph, labels, K)
+            np.testing.assert_allclose(
+                np.asarray(result.embedding),
+                reference_embedding(graph, labels),
+                atol=ATOL,
+                rtol=0,
+            )
+            assert f"[{n_shards}]" in result.method
+
+    def test_incremental_patch_protocol(self, backend):
+        rng = np.random.default_rng(5)
+        n = 20
+        labels = rng.integers(-1, K, size=n).astype(np.int64)
+        S_flat = np.zeros(n * K)
+        src = rng.integers(0, n, size=15).astype(np.int64)
+        dst = rng.integers(0, n, size=15).astype(np.int64)
+        delta = rng.uniform(-1.0, 1.0, size=15)
+        backend.patch_sums(S_flat, src, dst, delta, labels, K)
+        expected = np.zeros(n * K)
+        for u, v, w in zip(src, dst, delta):
+            if labels[v] >= 0:
+                expected[u * K + labels[v]] += w
+            if labels[u] >= 0:
+                expected[v * K + labels[u]] += w
+        np.testing.assert_allclose(S_flat, expected, atol=ATOL, rtol=0)
+
+    def test_unknown_option_raises(self):
+        with pytest.raises(TypeError, match="force_shadow.*n_shards"):
+            NativeGEEBackend(force_shadow=True, bogus_option=1)
+
+    def test_method_tag_names_the_tier(self, backend, structural_cases):
+        graph, y, _ = structural_cases["unweighted"]
+        assert backend.embed(graph, y, K).method == "gee-native"

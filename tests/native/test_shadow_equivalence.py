@@ -1,0 +1,132 @@
+"""Shadow-kernel equivalence: the native tier vs the vectorized reference.
+
+The full conformance matrix of the acceptance contract: every native
+execution path (fused plan, both layouts, chunked streaming, incremental
+patches) must reproduce the vectorized reference embedding to 1e-10 across
+all structural cases × full/partial labels — with the kernels pinned to
+their NumPy shadows, so the matrix runs identically with and without
+numba.  When the JIT tier is importable the same paths run un-pinned too
+(see ``test_true_native.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.native.api import (
+    gee_native_chunked,
+    gee_native_with_plan,
+    patch_sums_native,
+)
+
+from conftest import CASE_NAMES, K
+
+ATOL = 1e-10
+
+
+def _check(result, expected):
+    np.testing.assert_allclose(
+        np.asarray(result.embedding), expected, atol=ATOL, rtol=0
+    )
+
+
+@pytest.mark.parametrize("labelling", ["full", "partial"])
+@pytest.mark.parametrize("case", CASE_NAMES)
+class TestFusedPlanEquivalence:
+    def _case(self, structural_cases, case, labelling):
+        graph, y_full, y_partial = structural_cases[case]
+        return graph, (y_full if labelling == "full" else y_partial)
+
+    @pytest.mark.parametrize("layout", ["sorted", "blocked"])
+    def test_fused_layouts(
+        self, structural_cases, reference_embedding, case, labelling, layout
+    ):
+        graph, y = self._case(structural_cases, case, labelling)
+        plan = graph.plan(K, layout=layout)
+        result = gee_native_with_plan(plan, y, force_shadow=True)
+        _check(result, reference_embedding(graph, y))
+        assert result.method == "gee-native"
+        assert result.layout == layout
+
+    def test_layout_none_replans_to_sorted(
+        self, structural_cases, reference_embedding, case, labelling
+    ):
+        graph, y = self._case(structural_cases, case, labelling)
+        plan = graph.plan(K)  # arrival-order plan
+        result = gee_native_with_plan(plan, y, force_shadow=True)
+        _check(result, reference_embedding(graph, y))
+        assert result.layout == "sorted"
+
+    @pytest.mark.parametrize("chunked_layout", ["none", "sorted"])
+    def test_chunked_streaming(
+        self, structural_cases, reference_embedding, case, labelling, chunked_layout
+    ):
+        graph, y = self._case(structural_cases, case, labelling)
+        layout = None if chunked_layout == "none" else chunked_layout
+        plan = graph.plan(K, chunk_edges=17, layout=layout)
+        result = gee_native_chunked(plan, y, force_shadow=True)
+        _check(result, reference_embedding(graph, y))
+
+
+class TestResultContract:
+    def test_buffer_view_and_projection(self, structural_cases):
+        graph, y, _ = structural_cases["weighted"]
+        plan = graph.plan(K, layout="sorted")
+        result = gee_native_with_plan(plan, y, force_shadow=True)
+        assert result.buffer_view is True
+        # The lazy projection must be buildable and shaped (n, K).
+        assert result.projection.shape == (graph.n_vertices, K)
+
+    def test_repeated_calls_reuse_the_plan_buffer(self, structural_cases):
+        graph, y, y_partial = structural_cases["weighted"]
+        plan = graph.plan(K, layout="sorted")
+        first = gee_native_with_plan(plan, y, force_shadow=True)
+        buf = np.asarray(first.embedding)
+        second = gee_native_with_plan(plan, y_partial, force_shadow=True)
+        assert np.shares_memory(buf, np.asarray(second.embedding))
+
+
+class TestIncrementalPatchFuzz:
+    def _reference_sums(self, n, k, edges, labels):
+        S = np.zeros((n, k))
+        for u, v, w in edges:
+            if labels[v] >= 0:
+                S[u, labels[v]] += w
+            if labels[u] >= 0:
+                S[v, labels[u]] += w
+        return S
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_patch_stream_matches_recompute(self, seed):
+        rng = np.random.default_rng(seed)
+        n, k = 30, K
+        labels = rng.integers(-1, k, size=n).astype(np.int64)
+        S_flat = np.zeros(n * k)
+        applied = []
+        for _ in range(12):
+            batch = rng.integers(1, 9)
+            src = rng.integers(0, n, size=batch).astype(np.int64)
+            dst = rng.integers(0, n, size=batch).astype(np.int64)
+            # Signed deltas: inserts, weight bumps, deletions.
+            delta = rng.uniform(-1.5, 2.0, size=batch)
+            patch_sums_native(S_flat, src, dst, delta, labels, k, force_shadow=True)
+            applied.extend(zip(src.tolist(), dst.tolist(), delta.tolist()))
+            expected = self._reference_sums(n, k, applied, labels)
+            np.testing.assert_allclose(
+                S_flat.reshape(n, k), expected, atol=ATOL, rtol=0
+            )
+
+    def test_empty_patch_is_a_no_op(self):
+        S_flat = np.arange(12, dtype=np.float64)
+        before = S_flat.copy()
+        patch_sums_native(
+            S_flat,
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0),
+            np.zeros(3, dtype=np.int64),
+            4,
+            force_shadow=True,
+        )
+        np.testing.assert_array_equal(S_flat, before)

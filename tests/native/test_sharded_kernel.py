@@ -1,0 +1,124 @@
+"""Sharded execution through the native kernel selector.
+
+``ShardedGraph.embed(kernel=...)`` routes each shard's accumulate through
+:func:`repro.native.dispatch.get_kernel` ("native" — which itself shadows
+to NumPy where numba is absent) or the pinned shadows ("shadow").  Either
+way each shard writes only its own ``[row_lo*K, row_hi*K)`` output window
+with shard-local flat indices, so results must equal the single-pool
+reference to 1e-10 at every shard count, and shard-routed patches must
+compose exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.shard.sharded import patch_sums_sharded
+
+from conftest import K
+
+ATOL = 1e-10
+SHARD_COUNTS = (1, 2, 7)
+
+
+@pytest.mark.parametrize("kernel", ["native", "shadow"])
+@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+class TestShardedEmbedKernels:
+    def test_matches_reference_across_cases(
+        self, structural_cases, reference_embedding, kernel, n_shards
+    ):
+        for graph, y, y_partial in structural_cases.values():
+            sharded = graph.shard(n_shards)
+            for labels in (y, y_partial):
+                result = sharded.embed(labels, K, kernel=kernel)
+                np.testing.assert_allclose(
+                    np.asarray(result.embedding),
+                    reference_embedding(graph, labels),
+                    atol=ATOL,
+                    rtol=0,
+                )
+
+    def test_method_names_kernel_and_shard_count(
+        self, structural_cases, kernel, n_shards
+    ):
+        graph, y, _ = structural_cases["unweighted"]
+        sharded = graph.shard(n_shards)
+        result = sharded.embed(y, K, kernel=kernel)
+        assert result.method == f"gee-sharded-{kernel}[{sharded.n_shards}]"
+
+    def test_explicit_workers_need_no_fork(
+        self, structural_cases, reference_embedding, kernel, n_shards
+    ):
+        """Native-tier shards run on threads: n_workers>1 must work (and
+        stay exact) even where the fork start method is unavailable."""
+        graph, y, _ = structural_cases["weighted"]
+        sharded = graph.shard(n_shards)
+        result = sharded.embed(y, K, n_workers=2, kernel=kernel)
+        np.testing.assert_allclose(
+            np.asarray(result.embedding),
+            reference_embedding(graph, y),
+            atol=ATOL,
+            rtol=0,
+        )
+
+
+class TestKernelValidation:
+    def test_embed_rejects_unknown_kernel(self, structural_cases):
+        graph, y, _ = structural_cases["unweighted"]
+        with pytest.raises(ValueError, match="kernel must be one of"):
+            graph.shard(2).embed(y, K, kernel="fortran")
+
+    def test_patch_rejects_unknown_kernel(self):
+        with pytest.raises(ValueError, match="kernel must be one of"):
+            patch_sums_sharded(
+                np.zeros(8),
+                np.array([0]),
+                np.array([1]),
+                np.array([1.0]),
+                np.zeros(2, dtype=np.int64),
+                4,
+                kernel="fortran",
+            )
+
+
+class TestShardRoutedPatches:
+    @pytest.mark.parametrize("kernel", ["numpy", "native", "shadow"])
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_patch_matches_dense_reference(self, kernel, n_shards):
+        rng = np.random.default_rng(n_shards)
+        n, k = 26, K
+        labels = rng.integers(-1, k, size=n).astype(np.int64)
+        S_flat = np.zeros(n * k)
+        expected = np.zeros((n, k))
+        for _ in range(6):
+            batch = rng.integers(1, 12)
+            src = rng.integers(0, n, size=batch).astype(np.int64)
+            dst = rng.integers(0, n, size=batch).astype(np.int64)
+            delta = rng.uniform(-1.0, 1.5, size=batch)
+            patch_sums_sharded(
+                S_flat, src, dst, delta, labels, k,
+                n_shards=n_shards, kernel=kernel,
+            )
+            for u, v, w in zip(src, dst, delta):
+                if labels[v] >= 0:
+                    expected[u, labels[v]] += w
+                if labels[u] >= 0:
+                    expected[v, labels[u]] += w
+            np.testing.assert_allclose(
+                S_flat.reshape(n, k), expected, atol=ATOL, rtol=0
+            )
+
+    def test_sharded_graph_patch_passthrough(self, structural_cases):
+        graph, y, _ = structural_cases["weighted"]
+        n, k = graph.n_vertices, K
+        sharded = graph.shard(3)
+        rng = np.random.default_rng(9)
+        src = rng.integers(0, n, size=10).astype(np.int64)
+        dst = rng.integers(0, n, size=10).astype(np.int64)
+        delta = rng.uniform(-0.5, 1.0, size=10)
+        via_numpy = np.zeros(n * k)
+        via_shadow = np.zeros(n * k)
+        sharded.patch_sums(via_numpy, src, dst, delta, y, k)
+        sharded.patch_sums(via_shadow, src, dst, delta, y, k, kernel="shadow")
+        np.testing.assert_allclose(via_shadow, via_numpy, atol=ATOL, rtol=0)

@@ -122,27 +122,50 @@ class TestCalibration:
         """A real (tiny) calibration run: measure, fit, persist, choose."""
         from repro.tune import calibration
 
+        # Four points, not three: with exactly three the 3-coefficient fit
+        # interpolates measurement noise exactly (a few-microsecond wobble
+        # on one 100us sample can hand the at-scale ranking to any config),
+        # so mirror the real grid's overdetermined structure at toy scale
+        # and keep the E spread wide enough to pin the per-edge term.
         monkeypatch.setattr(
-            calibration, "DESIGN_POINTS", ((64, 256), (64, 2048), (512, 2048))
+            calibration,
+            "DESIGN_POINTS",
+            ((64, 256), (64, 4096), (512, 4096), (512, 16384)),
         )
-        # Best-of-3: with repeats=1 a single load-inflated measurement on
-        # these tiny design points skews the per-edge fit enough to flake
-        # the python-vs-vectorized ratio assertion under full-suite load.
-        data = tune.calibrate(repeats=3, include_parallel=False)
-        assert data["schema"] == SCHEMA_VERSION
-        for config in ("vectorized:none", "vectorized:sorted", "vectorized:blocked",
-                       "sparse:none", "sharded:sorted", "python:none"):
-            coeff = data["coefficients"][config]
-            assert coeff["per_edge_s"] >= 0 and coeff["fixed_s"] >= 0
+        # Best-of-5 per point, and up to two whole-calibration retries for
+        # the *measured-ranking* assertions: a load spike on one toy sample
+        # can still hand the at-scale ranking to another config, and this
+        # test is about the calibrate→fit→persist→choose plumbing, not
+        # about the container being idle.  Structural assertions stay
+        # unconditional.
+        def _ranking_holds(data):
+            python_edge = data["coefficients"]["python:none"]["per_edge_s"]
+            vec_edge = data["coefficients"]["vectorized:none"]["per_edge_s"]
+            save_calibration(data)
+            reset_cost_model()
+            choice = get_cost_model().choose(10_000, 200_000, 32)
+            return (
+                python_edge > 10 * vec_edge
+                and choice.backend in ("vectorized", "sparse")
+            )
+
+        for attempt in range(3):
+            data = tune.calibrate(repeats=5, include_parallel=False)
+            assert data["schema"] == SCHEMA_VERSION
+            for config in ("vectorized:none", "vectorized:sorted",
+                           "vectorized:blocked", "sparse:none",
+                           "sharded:sorted", "python:none"):
+                coeff = data["coefficients"][config]
+                assert coeff["per_edge_s"] >= 0 and coeff["fixed_s"] >= 0
+            if _ranking_holds(data):
+                break
+        model = get_cost_model()
+        assert model.source == "calibrated"
         # The interpreted loop must be orders of magnitude above vectorized.
         assert (
             data["coefficients"]["python:none"]["per_edge_s"]
             > 10 * data["coefficients"]["vectorized:none"]["per_edge_s"]
         )
-        save_calibration(data)
-        reset_cost_model()
-        model = get_cost_model()
-        assert model.source == "calibrated"
         choice = model.choose(10_000, 200_000, 32)
         assert choice.backend in ("vectorized", "sparse")
 
@@ -273,3 +296,108 @@ class TestAutoBackend:
         edges, _ = seeded
         plan = Graph.coerce(edges).plan(4, layout="auto")
         assert plan.layout in ("none", "sorted", "blocked")
+
+
+class TestNativeTierIntegration:
+    """The JIT tier's hooks into the cost model, staleness and the CLI."""
+
+    def _native_payload(self, **overrides):
+        payload = _synthetic_payload()
+        payload["coefficients"]["native:sorted"] = {
+            "fixed_s": 1e-5, "per_edge_s": 3e-9, "per_cell_s": 1e-9,
+        }
+        payload["coefficients"]["native:blocked"] = {
+            "fixed_s": 1e-5, "per_edge_s": 4e-9, "per_cell_s": 1e-9,
+        }
+        payload.update(overrides)
+        return payload
+
+    def test_native_presence_flip_is_stale(self, tune_dir):
+        from repro.native import native_available
+
+        matching = _synthetic_payload(native=native_available())
+        assert calibration_staleness(matching) is None
+        flipped = _synthetic_payload(native=not native_available())
+        reason = calibration_staleness(flipped)
+        assert reason is not None and "native tier" in reason
+
+    def test_legacy_payload_without_native_key(self, tune_dir):
+        """Pre-native cache files count as calibrated without the tier."""
+        from repro.native import native_available
+
+        reason = calibration_staleness(_synthetic_payload())
+        if native_available():
+            assert reason is not None and "native tier" in reason
+        else:
+            assert reason is None
+
+    def test_candidates_exclude_native_when_unavailable(self, monkeypatch):
+        from repro.native import availability
+
+        monkeypatch.setattr(
+            availability, "_PROBE", (False, "forced absent by test", None)
+        )
+        model = CostModel.from_calibration(self._native_payload())
+        choice = model.choose(1 << 16, 1 << 20, 50, n_workers_available=8)
+        assert all(not c.startswith("native") for c in choice.predictions)
+        assert choice.backend != "native"
+
+    def test_native_competes_when_available(self, monkeypatch):
+        from repro.native import availability
+
+        monkeypatch.setattr(
+            availability, "_PROBE", (True, "forced by test", "0.0-test")
+        )
+        model = CostModel.from_calibration(self._native_payload())
+        choice = model.choose(1 << 16, 1 << 20, 50, n_workers_available=8)
+        # The synthetic native coefficients undercut every other config by
+        # construction, so the choice must land on the JIT tier with the
+        # worker cap passed through for its prange pool.
+        assert choice.backend == "native" and choice.layout == "sorted"
+        assert choice.n_workers == 8
+
+    def test_native_single_worker_leaves_threads_default(self, monkeypatch):
+        from repro.native import availability
+
+        monkeypatch.setattr(
+            availability, "_PROBE", (True, "forced by test", "0.0-test")
+        )
+        model = CostModel.from_calibration(self._native_payload())
+        choice = model.choose(1 << 16, 1 << 20, 50, n_workers_available=1)
+        assert choice.backend == "native"
+        assert choice.n_workers is None
+
+
+class TestShowCLI:
+    def test_show_prints_calibration_and_choices(self, tune_dir, capsys):
+        from repro.tune.__main__ import main
+
+        save_calibration(_synthetic_payload())
+        reset_cost_model()
+        assert main(["--show"]) == 0
+        out = capsys.readouterr().out
+        assert "calibration cache:" in out
+        assert "[fresh]" in out
+        assert "native tier:" in out
+        assert "vectorized:sorted" in out
+        assert "choices at representative (n, E, K) points:" in out
+        assert "predicted" in out  # the per-point ExecutionChoice rows
+
+    def test_show_without_cache_mentions_defaults(self, tune_dir, capsys):
+        from repro.tune.__main__ import main
+
+        assert main(["--show"]) == 0
+        out = capsys.readouterr().out
+        assert "absent or unreadable" in out
+        assert "model source: default" in out
+
+    def test_show_flags_stale_cache(self, tune_dir, capsys):
+        from repro.tune.__main__ import main
+
+        save_calibration(_synthetic_payload(cpu_count=99999))
+        reset_cost_model()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            assert main(["--show"]) == 0
+        out = capsys.readouterr().out
+        assert "STALE:" in out
